@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure, algorithm, or
+analytical claim), prints the paper-style rows, and persists them under
+``benchmarks/results/`` so EXPERIMENTS.md can cite measured numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(experiment_id: str, text: str) -> None:
+    """Print a report and persist it to ``benchmarks/results/<id>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"==== {experiment_id} ====\n"
+    print("\n" + banner + text)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(banner + text + "\n")
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a fixed-width text table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max([len(h)] + [len(r[i]) for r in rows]) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".")
+    return str(cell)

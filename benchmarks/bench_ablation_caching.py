@@ -1,0 +1,135 @@
+"""ABL-RC — ablations of the result-caching design choices (§2.3).
+
+Two choices the paper motivates implicitly are isolated here:
+
+1. **Deterministic cycling vs random reuse.**  The paper: "the
+   deterministic cycling scheme produces a stratified sample of the
+   outputs of M1 and helps minimize estimator variance."  We compare the
+   estimator variance of cycling against i.i.d. random selection from
+   the cache at the same alpha.
+2. **Chained caching (extension).**  For a 3-stage chain, the
+   coordinate-descent optimum of the generalized g is compared against
+   no caching and against caching only the first stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._util import format_table, save_report
+from repro.composite import (
+    ArrivalProcessModel,
+    CallableModel,
+    QueueModel,
+    estimate_chain_statistics,
+    optimize_chain_alphas,
+    run_chain_with_caching,
+    run_with_caching,
+)
+from repro.stats import make_rng
+
+ALPHA = 0.1
+N = 150
+REPLICATIONS = 100
+
+
+def random_reuse_estimate(m1, m2, n, alpha, rng):
+    """Result caching with i.i.d. random (not cyclic) cache selection."""
+    m_n = max(int(np.ceil(alpha * n)), 1)
+    cache = [m1.run(None, rng) for _ in range(m_n)]
+    samples = np.empty(n)
+    for i in range(n):
+        samples[i] = float(m2.run(cache[int(rng.integers(m_n))], rng))
+    return float(samples.mean())
+
+
+def run_experiment():
+    m1 = ArrivalProcessModel(cost=5.0)
+    m2 = QueueModel(cost=0.5)
+
+    cyclic = []
+    random_pick = []
+    for seed in range(REPLICATIONS):
+        cyclic.append(
+            run_with_caching(
+                m1, m2, n=N, alpha=ALPHA, rng=make_rng(seed)
+            ).estimate
+        )
+        random_pick.append(
+            random_reuse_estimate(m1, m2, N, ALPHA, make_rng(1000 + seed))
+        )
+    cyclic_var = float(np.var(cyclic, ddof=1))
+    random_var = float(np.var(random_pick, ddof=1))
+
+    # Chained caching ablation on a 3-stage chain.
+    def stage(name, cost, noise):
+        return CallableModel(
+            name,
+            lambda x, rng: (x or 0.0) + noise * float(rng.normal()),
+            cost=cost,
+        )
+
+    # Expensive upstream stage with a *small* variance share: the regime
+    # where caching pays (the k-stage analogue of V2 << V1).
+    models = [
+        stage("a", cost=20.0, noise=0.3),
+        stage("b", cost=2.0, noise=1.0),
+        stage("c", cost=0.2, noise=2.0),
+    ]
+    stats = estimate_chain_statistics(
+        models, make_rng(7), branching=4, roots=60
+    )
+    optimal, _ = optimize_chain_alphas(stats)
+
+    def chain_efficiency(alphas):
+        estimates = []
+        cost = None
+        for seed in range(REPLICATIONS // 2):
+            result = run_chain_with_caching(
+                models, n=100, alphas=alphas, rng=make_rng(5000 + seed)
+            )
+            estimates.append(result.estimate)
+            cost = result.total_cost
+        return float(np.var(estimates, ddof=1)) * cost
+
+    chain_rows = [
+        ("no caching", [1.0, 1.0], chain_efficiency([1.0, 1.0])),
+        (
+            "cache stage 1 only",
+            [0.1, 1.0],
+            chain_efficiency([0.1, 1.0]),
+        ),
+        (
+            f"optimized {np.round(optimal, 3).tolist()}",
+            optimal,
+            chain_efficiency(optimal),
+        ),
+    ]
+    return cyclic_var, random_var, chain_rows
+
+
+def test_ablation_caching(benchmark):
+    cyclic_var, random_var, chain_rows = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    table = "cache reuse order at alpha = 0.1 (variance of estimator):\n"
+    table += format_table(
+        ["scheme", "Var[estimate]"],
+        [
+            ("deterministic cycling", cyclic_var),
+            ("i.i.d. random pick", random_var),
+        ],
+    )
+    table += "\n\nchained caching, work-normalized variance (lower = better):\n"
+    table += format_table(
+        ["strategy", "cost*Var"],
+        [(name, value) for name, _, value in chain_rows],
+    )
+    save_report("ABL-RC_caching_ablation", table)
+
+    # Cycling (stratified reuse) should not be worse than random reuse.
+    assert cyclic_var <= random_var * 1.15
+    # The optimized chain beats no caching.
+    values = {name: value for name, _, value in chain_rows}
+    optimized_key = next(k for k in values if k.startswith("optimized"))
+    assert values[optimized_key] < values["no caching"]

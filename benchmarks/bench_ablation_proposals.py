@@ -1,0 +1,105 @@
+"""ABL-WF/SJ — ablations: sensor confidence and self-join cell size.
+
+1. **Sensor confidence sweep (wildfire PF).**  The [57] proposal keeps
+   the sensor-adjusted state with a confidence probability gamma;
+   gamma = 0 degenerates to the bootstrap filter, gamma = 1 trusts the
+   sensors maximally.  We sweep gamma and report accuracy — the useful
+   regime is interior when sensors are noisy.
+2. **Grid cell size (ABS self-join).**  Cells must be >= the interaction
+   radius for correctness; larger cells examine more candidate pairs but
+   use fewer cells.  We sweep the cell-size multiple and report pair
+   counts (all settings must produce identical interaction results).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._util import format_table, save_report
+from repro.abs import (
+    SelfJoinStats,
+    averaging_update,
+    grid_selfjoin_step,
+    random_spatial_agents,
+)
+from repro.assimilation import (
+    WildfireModel,
+    WildfireParameters,
+    wildfire_sensor_filter,
+)
+from repro.stats import make_rng
+
+STEPS = 10
+PARTICLES = 30
+
+
+def run_experiment():
+    # --- sensor confidence sweep ---
+    params = WildfireParameters(height=9, width=9, sensor_fraction=0.5)
+    confidence_rows = []
+    errors_by_gamma = {}
+    for gamma in (0.0, 0.25, 0.5, 0.75, 1.0):
+        errors = []
+        for replicate in range(3):
+            model = WildfireModel(params, seed=replicate)
+            rng = make_rng(50 + replicate)
+            truth = model.simulate(STEPS, rng)
+            obs = [model.observe(s, rng) for s in truth[1:]]
+            result = wildfire_sensor_filter(
+                model, obs, truth[1:], PARTICLES,
+                make_rng(500 + replicate),
+                sensor_confidence=gamma, kde_samples=5,
+            )
+            errors.append(result.average_error)
+        errors_by_gamma[gamma] = float(np.mean(errors))
+        confidence_rows.append((gamma, errors_by_gamma[gamma]))
+
+    # --- self-join cell size sweep ---
+    agents = random_spatial_agents(
+        600, 20.0, make_rng(0),
+        extra_state=lambda i, rng: {"v": float(rng.normal())},
+    )
+    radius = 1.0
+    reference = None
+    cell_rows = []
+    for multiple in (1.0, 2.0, 4.0, 8.0):
+        stats = SelfJoinStats()
+        out = grid_selfjoin_step(
+            agents, radius, averaging_update("v"), stats,
+            cell_size=radius * multiple,
+        )
+        values = [row["v"] for row in out]
+        if reference is None:
+            reference = values
+        identical = np.allclose(values, reference)
+        cell_rows.append(
+            (multiple, stats.cells_used, stats.pairs_examined, identical)
+        )
+    return confidence_rows, errors_by_gamma, cell_rows
+
+
+def test_ablation_proposals(benchmark):
+    confidence_rows, errors_by_gamma, cell_rows = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    table = "wildfire PF accuracy vs sensor confidence gamma:\n"
+    table += format_table(
+        ["gamma", "mean cell error"], confidence_rows
+    )
+    table += "\n\nself-join pairs examined vs cell size (radius = 1):\n"
+    table += format_table(
+        ["cell size / radius", "cells", "pairs examined", "identical"],
+        cell_rows,
+    )
+    save_report("ABL-WF-SJ_proposal_cellsize", table)
+
+    # Some sensor use should not hurt badly relative to none; full trust
+    # in noisy sensors should not be the unique best either.
+    baseline = errors_by_gamma[0.0]
+    best_gamma = min(errors_by_gamma, key=errors_by_gamma.get)
+    assert errors_by_gamma[best_gamma] <= baseline + 0.01
+    # Cell size: correctness for every multiple; pair count grows with
+    # cell size (less pruning).
+    assert all(row[3] for row in cell_rows)
+    pairs = [row[2] for row in cell_rows]
+    assert pairs[0] < pairs[-1]

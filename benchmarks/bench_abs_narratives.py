@@ -1,0 +1,75 @@
+"""AN-ABS — the Section 1 agent-based narratives, quantified.
+
+The paper's introduction rests on two classic ABS results: Bonabeau's
+claim that behavior rules (accelerate / slow down / dawdle) *generate*
+the traffic jams a data-only analysis can only correlate, and
+Schelling's segregation model [48] as the root of the field.  Shape
+checks: the traffic fundamental diagram has an interior flow peak with
+spontaneous jams above the critical density; mild Schelling preferences
+produce strong global segregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._util import format_table, save_report
+from repro.abs import SchellingModel, fundamental_diagram
+from repro.stats import make_rng
+
+
+def run_experiment():
+    densities = np.array([0.04, 0.08, 0.12, 0.2, 0.3, 0.45, 0.65, 0.85])
+    diagram = fundamental_diagram(
+        densities, ticks=250, warmup=80, length=150, seed=0
+    )
+
+    schelling_rows = []
+    for tolerance in (0.3, 0.5):
+        result = SchellingModel(size=30, tolerance=tolerance).run(
+            150, make_rng(1)
+        )
+        schelling_rows.append(
+            (
+                tolerance,
+                result.segregation_series[0],
+                result.final_segregation,
+                result.converged,
+                result.ticks_run,
+            )
+        )
+    return diagram, schelling_rows
+
+
+def test_abs_narratives(benchmark):
+    diagram, schelling_rows = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    table = "traffic fundamental diagram (NaSch ring road):\n"
+    table += format_table(
+        ["density", "flow", "fraction stopped"], diagram
+    )
+    table += "\n\nSchelling segregation (30x30 torus):\n"
+    table += format_table(
+        [
+            "tolerance",
+            "initial like-neighbor frac",
+            "final like-neighbor frac",
+            "converged",
+            "ticks",
+        ],
+        schelling_rows,
+    )
+    save_report("AN-ABS_traffic_schelling", table)
+
+    flows = [flow for _, flow, _ in diagram]
+    jams = [jam for _, _, jam in diagram]
+    peak = int(np.argmax(flows))
+    # Interior flow maximum: the signature of jam formation.
+    assert 0 < peak < len(flows) - 1
+    # Jams grow monotonically-ish with density past the peak.
+    assert jams[-1] > jams[0] + 0.3
+    # Mild preferences, strong segregation (the Schelling result).
+    for _, initial, final, _, _ in schelling_rows:
+        assert final > initial + 0.15
+        assert initial < 0.6  # started mixed

@@ -1,0 +1,84 @@
+"""AN-SJ — agent interaction as a self-join, full vs partitioned (§2.1).
+
+Wang et al.'s observation: an ABS step is a self-join, and because agents
+interact only with nearby agents the join can be partitioned spatially.
+Both physical strategies run the same interaction step over growing agent
+populations.  Shape checks: identical neighbor sets and updated states;
+pairs examined O(n^2) for the full join vs near-linear for the grid join.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._util import format_table, save_report
+from repro.abs import (
+    SelfJoinStats,
+    averaging_update,
+    full_selfjoin_step,
+    grid_selfjoin_step,
+    random_spatial_agents,
+)
+from repro.stats import make_rng
+
+RADIUS = 1.0
+DENSITY = 2.0  # agents per unit area
+
+
+def run_experiment():
+    rows = []
+    ratios = {}
+    for n in (200, 400, 800, 1600):
+        extent = float(np.sqrt(n / DENSITY))
+        agents = random_spatial_agents(
+            n, extent, make_rng(n),
+            extra_state=lambda i, rng: {"v": float(rng.normal())},
+        )
+        full_stats = SelfJoinStats()
+        full_out = full_selfjoin_step(
+            agents, RADIUS, averaging_update("v"), full_stats
+        )
+        grid_stats = SelfJoinStats()
+        grid_out = grid_selfjoin_step(
+            agents, RADIUS, averaging_update("v"), grid_stats
+        )
+        identical = all(
+            abs(a["v"] - b["v"]) < 1e-12
+            for a, b in zip(full_out, grid_out)
+        )
+        ratio = full_stats.pairs_examined / max(grid_stats.pairs_examined, 1)
+        ratios[n] = ratio
+        rows.append(
+            (
+                n,
+                full_stats.pairs_examined,
+                grid_stats.pairs_examined,
+                grid_stats.cells_used,
+                ratio,
+                identical,
+            )
+        )
+    return rows, ratios
+
+
+def test_abs_selfjoin(benchmark):
+    rows, ratios = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "agents",
+            "pairs (full join)",
+            "pairs (grid join)",
+            "grid cells",
+            "reduction",
+            "identical states",
+        ],
+        rows,
+    )
+    save_report("AN-SJ_abs_selfjoin", table)
+
+    # Correctness: the partitioned join computes the same step.
+    assert all(row[5] for row in rows)
+    # The reduction factor grows with population (full is O(n^2),
+    # grid is ~O(n) at constant density).
+    assert ratios[1600] > ratios[200]
+    assert ratios[1600] > 20.0

@@ -1,0 +1,112 @@
+"""AN-KR — kriging vs polynomial metamodels; stochastic kriging (§4.1).
+
+Fits both metamodel families to a nonlinear simulation response on an
+NOLH design.  Shape checks: the GP interpolates the design points
+exactly (deterministic case, the property the paper derives from Eq. 6);
+kriging beats the quadratic polynomial off-design; stochastic kriging
+smooths noisy responses toward the truth instead of interpolating noise;
+the GP enables cheap "simulation on demand".
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks._util import format_table, save_report
+from repro.doe import nearly_orthogonal_lh, scale_design
+from repro.metamodel import (
+    GaussianProcessMetamodel,
+    PolynomialMetamodel,
+    StochasticKrigingMetamodel,
+)
+from repro.stats import make_rng
+
+
+def response(x: np.ndarray) -> np.ndarray:
+    """A two-factor nonlinear 'simulation' response."""
+    return (
+        np.sin(4.0 * x[:, 0]) * np.cos(2.0 * x[:, 1])
+        + 0.5 * x[:, 0] * x[:, 1]
+    )
+
+
+def run_experiment():
+    rng = make_rng(0)
+    coded = nearly_orthogonal_lh(2, 33, rng, iterations=1000)
+    design = scale_design(
+        coded, lows=np.array([0.0, 0.0]), highs=np.array([1.5, 1.5])
+    )
+    y = response(design)
+
+    gp = GaussianProcessMetamodel().fit(design, y)
+    poly2 = PolynomialMetamodel(2, order=2).fit(design, y)
+
+    query = rng.uniform(0.0, 1.5, size=(500, 2))
+    truth = response(query)
+    gp_rmse = float(np.sqrt(np.mean((gp.predict(query) - truth) ** 2)))
+    poly_rmse = float(np.sqrt(np.mean((poly2.predict(query) - truth) ** 2)))
+    interp_error = float(np.max(np.abs(gp.predict(design) - y)))
+
+    # "Simulation on demand": metamodel evaluation cost per point.
+    start = time.perf_counter()
+    for _ in range(20):
+        gp.predict(query)
+    per_point = (time.perf_counter() - start) / (20 * query.shape[0])
+
+    # Stochastic variant on noisy replications.
+    noise_sd = 0.3
+    replications = 8
+    noisy_means = np.array(
+        [
+            float(
+                (response(point[None, :]) + make_rng(100 + i).normal(
+                    0, noise_sd, size=replications
+                )).mean()
+            )
+            for i, point in enumerate(design)
+        ]
+    )
+    sk = StochasticKrigingMetamodel().fit_noisy(
+        design, noisy_means, np.full(design.shape[0], noise_sd**2 / replications)
+    )
+    sk_rmse = float(np.sqrt(np.mean((sk.predict(query) - truth) ** 2)))
+    naive_gp = GaussianProcessMetamodel().fit(design, noisy_means)
+    naive_rmse = float(
+        np.sqrt(np.mean((naive_gp.predict(query) - truth) ** 2))
+    )
+    rows = [
+        ("polynomial (order 2)", poly_rmse, "-"),
+        ("kriging (GP, Eq. 6)", gp_rmse, f"{interp_error:.2e}"),
+        ("kriging on noisy data", naive_rmse, "-"),
+        ("stochastic kriging", sk_rmse, "-"),
+    ]
+    return rows, gp_rmse, poly_rmse, sk_rmse, naive_rmse, interp_error, per_point
+
+
+def test_kriging_metamodel(benchmark):
+    (
+        rows,
+        gp_rmse,
+        poly_rmse,
+        sk_rmse,
+        naive_rmse,
+        interp_error,
+        per_point,
+    ) = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = format_table(
+        ["metamodel", "off-design RMSE", "design-point error"], rows
+    )
+    table += (
+        f"\n\nsimulation-on-demand: {per_point * 1e6:.2f} us per "
+        "metamodel evaluation"
+    )
+    save_report("AN-KR_kriging_metamodel", table)
+
+    # GP interpolates design points (deterministic kriging property).
+    assert interp_error < 1e-3
+    # Kriging beats the polynomial on the nonlinear response.
+    assert gp_rmse < poly_rmse / 2
+    # Stochastic kriging beats naive interpolation of noisy data.
+    assert sk_rmse < naive_rmse

@@ -1,0 +1,102 @@
+"""AN-TB — MCDB tuple bundles vs naive per-iteration execution (§2.1).
+
+MCDB "employs query processing techniques that execute a query plan only
+once, processing 'tuple bundles' rather than ordinary tuples".  The same
+aggregation query over a stochastic table runs both ways at increasing
+Monte Carlo counts.  Shape checks: identical estimates (same seed, same
+distribution), with the bundled path's advantage growing with n_mc.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._util import format_table, save_report
+from repro.engine import Database, Schema
+from repro.mcdb import MonteCarloDatabase, NormalVG, RandomTableSpec
+
+
+def build_mcdb(num_rows: int = 150) -> MonteCarloDatabase:
+    db = Database()
+    db.create_table("patients", Schema.of(pid=int))
+    for i in range(num_rows):
+        db.table("patients").insert({"pid": i})
+    db.create_table("sbp_param", Schema.of(mean=float, std=float))
+    db.table("sbp_param").insert({"mean": 120.0, "std": 10.0})
+    mcdb = MonteCarloDatabase(db, seed=3)
+    mcdb.register_random_table(
+        RandomTableSpec(
+            name="sbp_data",
+            vg=NormalVG(),
+            outer_table="patients",
+            parameters="SELECT mean, std FROM sbp_param",
+            select={"pid": "outer.pid", "sbp": "vg.value"},
+        )
+    )
+    return mcdb
+
+
+def naive_query(instance):
+    return instance.sql(
+        "SELECT AVG(sbp) AS m FROM sbp_data WHERE sbp > 110"
+    )[0]["m"]
+
+
+def bundled_query(bundles, _db):
+    return (
+        bundles["sbp_data"]
+        .filter(lambda row: row["sbp"] > 110.0)
+        .aggregate_avg("sbp")
+    )
+
+
+def run_experiment():
+    mcdb = build_mcdb()
+    rows = []
+    speedups = {}
+    for n_mc in (10, 50, 200):
+        start = time.perf_counter()
+        naive = mcdb.run_naive(naive_query, n_mc)
+        naive_time = time.perf_counter() - start
+        start = time.perf_counter()
+        bundled = mcdb.run_bundled(bundled_query, n_mc)
+        bundled_time = time.perf_counter() - start
+        speedup = naive_time / bundled_time
+        speedups[n_mc] = speedup
+        rows.append(
+            (
+                n_mc,
+                naive.expectation(),
+                bundled.expectation(),
+                naive_time,
+                bundled_time,
+                speedup,
+            )
+        )
+    return rows, speedups
+
+
+def test_mcdb_tuple_bundles(benchmark):
+    rows, speedups = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "n_mc",
+            "E[Y] naive",
+            "E[Y] bundled",
+            "naive s",
+            "bundled s",
+            "speedup",
+        ],
+        rows,
+    )
+    save_report("AN-TB_mcdb_tuple_bundles", table)
+
+    # Same distribution: expectations agree.
+    for row in rows:
+        assert row[1] == pytest.approx(row[2], abs=1.0)
+    # Bundles win, and the win grows with the Monte Carlo count.
+    assert speedups[200] > 5.0
+    assert speedups[200] > speedups[10]

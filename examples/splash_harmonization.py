@@ -1,0 +1,118 @@
+"""Splash-style data harmonization between composite-model components.
+
+An epidemic model emits daily infection counts (persons); an economic
+model consumes weekly workforce-loss series (thousands of persons).
+Coupling them needs both *schema alignment* (rename, scale, unit-convert)
+and *time alignment* (aggregation downstream, spline interpolation back
+upstream), with the interpolation executed as parallel per-window work on
+the MapReduce substrate, and its tridiagonal spline system solvable by
+DSGD with negligible shuffling.
+
+Run:  python examples/splash_harmonization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harmonize import (
+    FieldMapping,
+    SGDConfig,
+    SchemaMapping,
+    TimeSeries,
+    direct_solver_shuffle_cost,
+    dsgd_solve,
+    interpolate_on_cluster,
+    interpolate_series,
+    sgd_solve,
+)
+from repro.mapreduce import Cluster, JobCounters
+from repro.stats import make_rng, spline_system, thomas_solve
+
+
+def main() -> None:
+    rng = make_rng(0)
+    # Source model output: daily infected counts over 10 weeks.
+    days = np.arange(0.0, 70.0)
+    infected = 500.0 * np.exp(-0.5 * ((days - 30.0) / 12.0) ** 2)
+    infected += rng.normal(0, 5.0, size=days.size)
+    daily = TimeSeries(
+        times=days,
+        channels={"infected": infected, "quarantined": infected * 0.4},
+        units={"infected": "count", "quarantined": "count"},
+        time_unit="day",
+    )
+
+    # --- schema alignment (Clio++-style mapping) ---
+    mapping = SchemaMapping(
+        [
+            FieldMapping(
+                "workforce_loss",
+                ("infected", "quarantined"),
+                transform=lambda i, q: i + q,
+                source_unit="count",
+                target_unit="thousands",
+            )
+        ]
+    )
+    report = mapping.detect_mismatches(
+        source_channels=daily.channel_names,
+        target_channels=["workforce_loss"],
+        source_units=daily.units,
+    )
+    print(f"schema mismatch check: ok={report.ok}")
+    mapped = mapping.apply(daily)
+
+    # --- time alignment: daily -> weekly (aggregation) ---
+    weekly_times = np.arange(0.0, 70.0, 7.0)
+    from repro.harmonize import aggregate_series
+
+    weekly = aggregate_series(mapped, weekly_times, method="mean")
+    print("\nweekly workforce loss fed to the economic model (thousands):")
+    print(" ", np.array_str(weekly.channel("workforce_loss"), precision=3))
+
+    # --- time alignment back: weekly -> daily (cubic spline on MapReduce)
+    counters = JobCounters()
+    cluster = Cluster(num_workers=6)
+    daily_again = interpolate_on_cluster(
+        cluster, weekly, np.arange(0.0, 63.1, 1.0), method="cubic",
+        counters=counters,
+    )
+    sequential = interpolate_series(
+        weekly, np.arange(0.0, 63.1, 1.0), method="cubic"
+    )
+    max_gap = float(
+        np.abs(
+            daily_again.channel("workforce_loss")
+            - sequential.channel("workforce_loss")
+        ).max()
+    )
+    print(
+        f"\nMapReduce interpolation: {counters.records_mapped} target "
+        f"points across windows, matches sequential to {max_gap:.2e}"
+    )
+
+    # --- DSGD vs direct solve of the spline system ---
+    big_days = np.arange(0.0, 3000.0)
+    big_series = np.sin(big_days / 60.0) + 0.2 * np.cos(big_days / 11.0)
+    system = spline_system(big_days, big_series)
+    exact = thomas_solve(system)
+    config = SGDConfig(epochs=60, step_exponent=0.6)
+    sgd = sgd_solve(system, make_rng(1), config)
+    dsgd = dsgd_solve(system, make_rng(2), config, num_workers=8)
+    print(
+        f"\nspline system with m={system.size} unknowns "
+        f"(massive time series stand-in):"
+    )
+    print(f"  direct-on-MapReduce shuffle : "
+          f"{direct_solver_shuffle_cost(system.size, config.epochs)} records")
+    print(f"  plain SGD shuffle           : {sgd.records_shuffled} records "
+          f"(loss {sgd.final_loss:.2e})")
+    print(f"  DSGD shuffle                : {dsgd.records_shuffled} records "
+          f"(loss {dsgd.final_loss:.2e})")
+    err = float(np.linalg.norm(dsgd.x - exact) / np.linalg.norm(exact))
+    print(f"  DSGD relative solution error: {err:.3f}")
+
+
+if __name__ == "__main__":
+    main()

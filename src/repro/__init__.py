@@ -1,0 +1,33 @@
+"""repro — a reproduction of "Model-Data Ecosystems" (Haas, PODS 2014).
+
+The library implements every system and mathematical tool surveyed by the
+paper, organized by the paper's own structure:
+
+Section 2 — data-intensive simulation
+    :mod:`repro.engine` (relational substrate), :mod:`repro.mapreduce`
+    (MapReduce substrate), :mod:`repro.mcdb` (Monte Carlo database),
+    :mod:`repro.simsql` (database-valued Markov chains), :mod:`repro.abs`
+    (agent-based simulation as self-joins), :mod:`repro.harmonize`
+    (Splash-style time/schema alignment, DSGD spline solving),
+    :mod:`repro.gridfields` (gridfield algebra), :mod:`repro.composite`
+    (composite models and result caching), :mod:`repro.epidemics`
+    (Indemics-style HPC+RDBMS epidemic simulation), :mod:`repro.pdesmas`
+    (range queries in distributed agent simulations).
+
+Section 3 — information integration
+    :mod:`repro.calibration` (MLE/MM/MSM, agent-based market model),
+    :mod:`repro.assimilation` (particle filtering, wildfire data
+    assimilation).
+
+Section 4 — simulation metamodeling
+    :mod:`repro.metamodel` (polynomial and kriging metamodels, factor
+    screening), :mod:`repro.doe` (factorial and Latin-hypercube designs).
+
+Shared substrates: :mod:`repro.stats`, :mod:`repro.errors`.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

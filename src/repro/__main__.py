@@ -1,0 +1,103 @@
+"""A one-minute guided tour: ``python -m repro``.
+
+Runs a miniature pass through the library's layers — uncertain data in
+the Monte Carlo database, an epidemic intervention, a particle filter
+against an exact Kalman reference, and a result-caching optimum — and
+points at the full examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+
+def tour() -> None:
+    print(f"repro {repro.__version__} — Model-Data Ecosystems (PODS 2014)")
+    print("=" * 60)
+
+    # 1. MCDB
+    from repro.engine import Database
+    from repro.mcdb import MonteCarloDatabase, NormalVG, RandomTableSpec
+
+    db = Database()
+    db.sql("CREATE TABLE patients (pid int)")
+    for i in range(50):
+        db.sql(f"INSERT INTO patients VALUES ({i})")
+    mcdb = MonteCarloDatabase(db, seed=1)
+    mcdb.register_random_table(
+        RandomTableSpec(
+            name="sbp",
+            vg=NormalVG(),
+            outer_table="patients",
+            parameters={"mean": 120.0, "std": 10.0},
+        )
+    )
+    dist = mcdb.run_bundled(
+        lambda bundles, _db: bundles["sbp"].aggregate_avg("value"), n_mc=200
+    )
+    print(f"[mcdb]        E[avg SBP] = {dist.expectation():.2f}, "
+          f"95% quantile = {dist.quantile(0.95):.2f}")
+
+    # 2. Epidemic intervention
+    from repro.epidemics import (
+        DiseaseParameters,
+        IndemicsEngine,
+        VaccinatePreschoolersPolicy,
+        generate_population,
+        run_with_policy,
+    )
+    from repro.stats import make_rng
+
+    population = generate_population(120, make_rng(0))
+    engine = IndemicsEngine(population, DiseaseParameters(), seed=2)
+    engine.seed_infections(4)
+    log = run_with_policy(engine, VaccinatePreschoolersPolicy(0.01), 30)
+    fired = [e for e in log if e.triggered]
+    print(f"[indemics]    attack rate {engine.attack_rate():.2f}; "
+          f"Algorithm 1 triggered: {bool(fired)}")
+
+    # 3. Particle filter vs Kalman
+    from repro.assimilation import (
+        LinearGaussianSSM,
+        kalman_filter,
+        particle_filter,
+    )
+
+    ssm = LinearGaussianSSM()
+    _, observations = ssm.simulate(30, make_rng(3))
+    kalman_means, _ = kalman_filter(ssm, observations)
+    result = particle_filter(
+        ssm.to_state_space_model(), observations, 500, make_rng(4)
+    )
+    rmse = float(
+        np.sqrt(np.mean((result.filtered_means[:, 0] - kalman_means) ** 2))
+    )
+    print(f"[assimilate]  particle filter vs exact Kalman: RMSE {rmse:.3f}")
+
+    # 4. Result caching
+    from repro.composite import (
+        ArrivalProcessModel,
+        QueueModel,
+        estimate_statistics,
+        optimal_alpha,
+    )
+
+    stats = estimate_statistics(
+        ArrivalProcessModel(cost=5.0),
+        QueueModel(cost=0.5),
+        make_rng(5),
+        pilot_m1_runs=40,
+        m2_runs_per_m1=4,
+    )
+    print(f"[caching]     optimal replication fraction alpha* = "
+          f"{optimal_alpha(stats):.3f}")
+
+    print("=" * 60)
+    print("full walkthroughs:  python examples/<name>.py")
+    print("all reproductions:  pytest benchmarks/ --benchmark-only")
+
+
+if __name__ == "__main__":
+    tour()

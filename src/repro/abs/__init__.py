@@ -1,0 +1,45 @@
+"""Agent-based simulation: kernel, self-join steps, and canonical models.
+
+Covers the ABS material of Sections 1 and 2.1: a sense→think→respond
+kernel (:mod:`repro.abs.core`), agent interaction as a relational self-join
+with full vs grid-partitioned strategies (:mod:`repro.abs.selfjoin`, after
+Wang et al. [55]), Bonabeau's traffic-jam demonstration
+(:mod:`repro.abs.traffic`), and Schelling segregation
+(:mod:`repro.abs.schelling`).
+"""
+
+from repro.abs.core import Agent, AgentModel, Simulation, SimulationResult
+from repro.abs.schelling import SchellingModel, SchellingResult
+from repro.abs.selfjoin import (
+    SelfJoinStats,
+    averaging_update,
+    full_selfjoin_step,
+    grid_selfjoin_step,
+    neighbor_sets,
+    random_spatial_agents,
+)
+from repro.abs.traffic import (
+    TrafficModel,
+    TrafficRun,
+    TrafficState,
+    fundamental_diagram,
+)
+
+__all__ = [
+    "Agent",
+    "AgentModel",
+    "SchellingModel",
+    "SchellingResult",
+    "SelfJoinStats",
+    "Simulation",
+    "SimulationResult",
+    "TrafficModel",
+    "TrafficRun",
+    "TrafficState",
+    "averaging_update",
+    "full_selfjoin_step",
+    "fundamental_diagram",
+    "grid_selfjoin_step",
+    "neighbor_sets",
+    "random_spatial_agents",
+]

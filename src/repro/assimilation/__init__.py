@@ -1,0 +1,94 @@
+"""Data assimilation: combining real and simulated data (Section 3.2).
+
+Importance sampling and SIS (:mod:`repro.assimilation.importance`),
+resampling schemes (:mod:`repro.assimilation.resampling`), the Algorithm 2
+particle filter with a linear-Gaussian/Kalman reference
+(:mod:`repro.assimilation.particle_filter`), kernel density estimation
+(:mod:`repro.assimilation.kde`), the wildfire spread + sensor model
+(:mod:`repro.assimilation.wildfire`), and the bootstrap vs sensor-aware
+wildfire filters (:mod:`repro.assimilation.proposals`).
+"""
+
+from repro.assimilation.importance import (
+    ImportanceEstimate,
+    effective_sample_size,
+    importance_sample,
+    normalize_log_weights,
+    normalize_weights,
+    sis_weight_update,
+)
+from repro.assimilation.kde import (
+    KERNELS,
+    KernelDensityEstimator,
+    silverman_bandwidth,
+)
+from repro.assimilation.parameter_estimation import (
+    LikelihoodEstimationResult,
+    estimate_parameters,
+    exact_log_likelihood,
+    linear_gaussian_builder,
+    pf_log_likelihood,
+)
+from repro.assimilation.particle_filter import (
+    FilterResult,
+    LinearGaussianSSM,
+    Proposal,
+    StateSpaceModel,
+    kalman_filter,
+    particle_filter,
+)
+from repro.assimilation.proposals import (
+    WildfireFilterResult,
+    wildfire_bootstrap_filter,
+    wildfire_sensor_filter,
+)
+from repro.assimilation.resampling import (
+    RESAMPLERS,
+    get_resampler,
+    multinomial_resample,
+    stratified_resample,
+    systematic_resample,
+)
+from repro.assimilation.wildfire import (
+    BURNED,
+    BURNING,
+    UNBURNED,
+    WildfireModel,
+    WildfireParameters,
+)
+
+__all__ = [
+    "BURNED",
+    "BURNING",
+    "FilterResult",
+    "ImportanceEstimate",
+    "KERNELS",
+    "KernelDensityEstimator",
+    "LinearGaussianSSM",
+    "Proposal",
+    "RESAMPLERS",
+    "StateSpaceModel",
+    "UNBURNED",
+    "WildfireFilterResult",
+    "WildfireModel",
+    "WildfireParameters",
+    "LikelihoodEstimationResult",
+    "effective_sample_size",
+    "estimate_parameters",
+    "exact_log_likelihood",
+    "get_resampler",
+    "importance_sample",
+    "kalman_filter",
+    "linear_gaussian_builder",
+    "pf_log_likelihood",
+    "multinomial_resample",
+    "normalize_log_weights",
+    "normalize_weights",
+    "particle_filter",
+    "sis_weight_update",
+    "silverman_bandwidth",
+    "stratified_resample",
+    "systematic_resample",
+    "wildfire_bootstrap_filter",
+    "wildfire_sensor_filter",
+]

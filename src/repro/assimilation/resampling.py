@@ -1,0 +1,75 @@
+"""Resampling schemes for sequential importance sampling.
+
+Resampling "obtains a new sample of size N at the end of each iteration
+by resampling the foregoing set of N particles according to their
+normalized weights", resetting every weight to 1/N and preventing the
+weight collapse the paper describes.  Three standard schemes are
+provided; systematic resampling is the usual default (lowest variance,
+O(N)).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import FilteringError
+
+
+def _validate(weights: np.ndarray) -> np.ndarray:
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 1 or w.size == 0:
+        raise FilteringError("weights must be a non-empty vector")
+    if np.any(w < 0) or not np.isclose(w.sum(), 1.0, atol=1e-8):
+        raise FilteringError("weights must be normalized and nonnegative")
+    return w / w.sum()
+
+
+def multinomial_resample(
+    weights: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """I.i.d. draws from the categorical distribution of the weights."""
+    w = _validate(weights)
+    return rng.choice(w.size, size=w.size, p=w)
+
+
+def systematic_resample(
+    weights: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Systematic (stratified-grid) resampling: one uniform, N strata."""
+    w = _validate(weights)
+    n = w.size
+    positions = (rng.uniform() + np.arange(n)) / n
+    cumulative = np.cumsum(w)
+    cumulative[-1] = 1.0  # guard against rounding
+    return np.searchsorted(cumulative, positions).astype(int)
+
+
+def stratified_resample(
+    weights: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Stratified resampling: one independent uniform per stratum."""
+    w = _validate(weights)
+    n = w.size
+    positions = (rng.uniform(size=n) + np.arange(n)) / n
+    cumulative = np.cumsum(w)
+    cumulative[-1] = 1.0
+    return np.searchsorted(cumulative, positions).astype(int)
+
+
+RESAMPLERS: Dict[str, Callable[[np.ndarray, np.random.Generator], np.ndarray]] = {
+    "multinomial": multinomial_resample,
+    "systematic": systematic_resample,
+    "stratified": stratified_resample,
+}
+
+
+def get_resampler(name: str):
+    """Look up a resampling scheme by name."""
+    try:
+        return RESAMPLERS[name]
+    except KeyError:
+        raise FilteringError(
+            f"unknown resampler {name!r}; have {sorted(RESAMPLERS)}"
+        ) from None

@@ -1,0 +1,60 @@
+"""Model calibration as data integration (Section 3.1 of the paper).
+
+Maximum likelihood (:mod:`repro.calibration.mle`), the method of
+(simulated) moments with GMM weighting (:mod:`repro.calibration.moments`),
+hand-built Nelder-Mead / genetic / random-search optimizers
+(:mod:`repro.calibration.optimizers`), the herding asset-market ABS used
+as the calibration target (:mod:`repro.calibration.market`), and
+DOE+kriging surrogate calibration
+(:mod:`repro.calibration.kriging_calibration`).
+"""
+
+from repro.calibration.kriging_calibration import (
+    KrigingCalibrationResult,
+    kriging_calibrate,
+)
+from repro.calibration.market import (
+    HerdingMarketModel,
+    HerdingParameters,
+    make_msm_simulator,
+)
+from repro.calibration.mle import (
+    MLEResult,
+    exponential_log_likelihood,
+    exponential_mle,
+    normal_mle,
+    numeric_mle,
+)
+from repro.calibration.moments import (
+    MSMProblem,
+    exponential_mm,
+    normal_mm,
+    standard_market_moments,
+)
+from repro.calibration.optimizers import (
+    OptimizationResult,
+    genetic_algorithm,
+    nelder_mead,
+    random_search,
+)
+
+__all__ = [
+    "HerdingMarketModel",
+    "HerdingParameters",
+    "KrigingCalibrationResult",
+    "MLEResult",
+    "MSMProblem",
+    "OptimizationResult",
+    "exponential_log_likelihood",
+    "exponential_mle",
+    "exponential_mm",
+    "genetic_algorithm",
+    "kriging_calibrate",
+    "make_msm_simulator",
+    "nelder_mead",
+    "normal_mle",
+    "normal_mm",
+    "numeric_mle",
+    "random_search",
+    "standard_market_moments",
+]

@@ -1,0 +1,213 @@
+"""Derivative-free optimizers for calibration objectives.
+
+Fabretti [17] "uses heuristic optimization methods, such as Nelder-Mead
+and genetic algorithms, to try and quickly locate the optimal parameter
+value".  Both are implemented here from scratch (they are part of the
+surveyed methodology, not incidental dependencies), with evaluation
+budgets tracked so the calibration benchmark can compare simulator-call
+costs across methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+Objective = Callable[[np.ndarray], float]
+Bounds = Sequence[Tuple[float, float]]
+
+
+@dataclass
+class OptimizationResult:
+    """A minimizer with its achieved value and evaluation count."""
+
+    x: np.ndarray
+    value: float
+    evaluations: int
+    iterations: int
+
+
+def _clip_to_bounds(x: np.ndarray, bounds: Optional[Bounds]) -> np.ndarray:
+    if bounds is None:
+        return x
+    out = x.copy()
+    for i, (lo, hi) in enumerate(bounds):
+        out[i] = min(max(out[i], lo), hi)
+    return out
+
+
+def nelder_mead(
+    objective: Objective,
+    initial: Sequence[float],
+    bounds: Optional[Bounds] = None,
+    max_iterations: int = 200,
+    initial_step: float = 0.1,
+    tolerance: float = 1e-8,
+) -> OptimizationResult:
+    """The Nelder-Mead downhill simplex with standard coefficients.
+
+    Reflection 1, expansion 2, contraction 0.5, shrink 0.5.  Bounds are
+    enforced by clipping candidate vertices.
+    """
+    x0 = np.asarray(initial, dtype=float)
+    n = x0.size
+    if n < 1:
+        raise CalibrationError("need at least one dimension")
+    evaluations = 0
+
+    def f(x: np.ndarray) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return float(objective(_clip_to_bounds(x, bounds)))
+
+    # Initial simplex: x0 plus a step along each axis.
+    simplex = [x0]
+    for i in range(n):
+        vertex = x0.copy()
+        step = initial_step * (abs(vertex[i]) if vertex[i] != 0 else 1.0)
+        vertex[i] += step
+        simplex.append(vertex)
+    values = [f(v) for v in simplex]
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        order = np.argsort(values)
+        simplex = [simplex[i] for i in order]
+        values = [values[i] for i in order]
+        if abs(values[-1] - values[0]) < tolerance:
+            break
+        centroid = np.mean(simplex[:-1], axis=0)
+        worst = simplex[-1]
+        reflected = centroid + (centroid - worst)
+        f_reflected = f(reflected)
+        if values[0] <= f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+            continue
+        if f_reflected < values[0]:
+            expanded = centroid + 2.0 * (centroid - worst)
+            f_expanded = f(expanded)
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+            continue
+        contracted = centroid + 0.5 * (worst - centroid)
+        f_contracted = f(contracted)
+        if f_contracted < values[-1]:
+            simplex[-1], values[-1] = contracted, f_contracted
+            continue
+        # Shrink toward the best vertex.
+        best = simplex[0]
+        for i in range(1, n + 1):
+            simplex[i] = best + 0.5 * (simplex[i] - best)
+            values[i] = f(simplex[i])
+
+    best_index = int(np.argmin(values))
+    best_x = _clip_to_bounds(simplex[best_index], bounds)
+    return OptimizationResult(
+        x=best_x,
+        value=values[best_index],
+        evaluations=evaluations,
+        iterations=iterations,
+    )
+
+
+def genetic_algorithm(
+    objective: Objective,
+    bounds: Bounds,
+    rng: np.random.Generator,
+    population_size: int = 20,
+    generations: int = 30,
+    crossover_rate: float = 0.8,
+    mutation_rate: float = 0.2,
+    mutation_scale: float = 0.1,
+    elite_count: int = 2,
+) -> OptimizationResult:
+    """A real-coded genetic algorithm with tournament selection.
+
+    Blend (BLX-style) crossover, Gaussian mutation scaled to the bound
+    ranges, and elitism.  Minimizes ``objective`` over a box.
+    """
+    bounds = list(bounds)
+    n = len(bounds)
+    if n < 1:
+        raise CalibrationError("need at least one dimension")
+    if population_size < 4:
+        raise CalibrationError("population_size must be >= 4")
+    if elite_count >= population_size:
+        raise CalibrationError("elite_count must be < population_size")
+    lows = np.array([lo for lo, _ in bounds])
+    highs = np.array([hi for _, hi in bounds])
+    if np.any(highs <= lows):
+        raise CalibrationError("need low < high for every bound")
+    spans = highs - lows
+    evaluations = 0
+
+    def f(x: np.ndarray) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return float(objective(x))
+
+    population = lows + rng.uniform(size=(population_size, n)) * spans
+    fitness = np.array([f(ind) for ind in population])
+
+    def tournament() -> np.ndarray:
+        a, b = rng.integers(0, population_size, size=2)
+        return population[a] if fitness[a] <= fitness[b] else population[b]
+
+    for _ in range(generations):
+        order = np.argsort(fitness)
+        next_population: List[np.ndarray] = [
+            population[i].copy() for i in order[:elite_count]
+        ]
+        while len(next_population) < population_size:
+            parent_a = tournament()
+            parent_b = tournament()
+            if rng.uniform() < crossover_rate:
+                mix = rng.uniform(-0.25, 1.25, size=n)
+                child = parent_a + mix * (parent_b - parent_a)
+            else:
+                child = parent_a.copy()
+            mutate = rng.uniform(size=n) < mutation_rate
+            child = child + mutate * rng.normal(
+                0.0, mutation_scale * spans, size=n
+            )
+            next_population.append(np.clip(child, lows, highs))
+        population = np.array(next_population)
+        fitness = np.array([f(ind) for ind in population])
+
+    best = int(np.argmin(fitness))
+    return OptimizationResult(
+        x=population[best].copy(),
+        value=float(fitness[best]),
+        evaluations=evaluations,
+        iterations=generations,
+    )
+
+
+def random_search(
+    objective: Objective,
+    bounds: Bounds,
+    rng: np.random.Generator,
+    evaluations: int = 100,
+) -> OptimizationResult:
+    """Uniform random sampling of theta — the straw man the paper says
+    heuristic methods are "a vast improvement over"."""
+    bounds = list(bounds)
+    lows = np.array([lo for lo, _ in bounds])
+    highs = np.array([hi for _, hi in bounds])
+    best_x = None
+    best_value = np.inf
+    for _ in range(evaluations):
+        x = lows + rng.uniform(size=len(bounds)) * (highs - lows)
+        value = float(objective(x))
+        if value < best_value:
+            best_value = value
+            best_x = x
+    return OptimizationResult(
+        x=best_x, value=best_value, evaluations=evaluations, iterations=1
+    )

@@ -1,0 +1,76 @@
+"""Composite simulation models and run optimization (Section 2.3).
+
+Component models and the Figure 2 demand→queue example
+(:mod:`repro.composite.model`), series pipelines
+(:mod:`repro.composite.pipeline`), the result-caching strategy with its
+g(alpha)/alpha* analysis (:mod:`repro.composite.caching`), model metadata
+with continually refined statistics (:mod:`repro.composite.metadata`),
+and Splash-style experiment management
+(:mod:`repro.composite.experiment`).
+"""
+
+from repro.composite.caching import (
+    CachingRunResult,
+    CompositeStatistics,
+    budget_constrained_run,
+    estimate_statistics,
+    g_approx,
+    g_exact,
+    measure_estimator_variance,
+    optimal_alpha,
+    replication_counts,
+    run_with_caching,
+)
+from repro.composite.chain_caching import (
+    ChainRunResult,
+    ChainStatistics,
+    estimate_chain_statistics,
+    g_chain_approx,
+    optimize_chain_alphas,
+    run_chain_with_caching,
+)
+from repro.composite.experiment import (
+    ExperimentManager,
+    ExperimentRun,
+    InputFileTemplate,
+    ParameterBinding,
+)
+from repro.composite.metadata import MetadataRegistry, ModelMetadata
+from repro.composite.model import (
+    ArrivalProcessModel,
+    CallableModel,
+    ComponentModel,
+    QueueModel,
+)
+from repro.composite.pipeline import CompositePipeline, StageRecord
+
+__all__ = [
+    "ArrivalProcessModel",
+    "CachingRunResult",
+    "ChainRunResult",
+    "ChainStatistics",
+    "estimate_chain_statistics",
+    "g_chain_approx",
+    "optimize_chain_alphas",
+    "run_chain_with_caching",
+    "CallableModel",
+    "ComponentModel",
+    "CompositePipeline",
+    "CompositeStatistics",
+    "ExperimentManager",
+    "ExperimentRun",
+    "InputFileTemplate",
+    "MetadataRegistry",
+    "ModelMetadata",
+    "ParameterBinding",
+    "QueueModel",
+    "StageRecord",
+    "budget_constrained_run",
+    "estimate_statistics",
+    "g_approx",
+    "g_exact",
+    "measure_estimator_variance",
+    "optimal_alpha",
+    "replication_counts",
+    "run_with_caching",
+]

@@ -1,0 +1,120 @@
+"""Model metadata and continually refined performance statistics.
+
+Section 2.3: "a composite modeling system such as Splash is oriented
+toward re-use of models, and important performance characteristics of a
+model can be stored as part of the model's metadata ... as the component
+models are used in production runs, their behavior can be observed and
+used to continually refine the statistics" — the simulation analogue of
+RDBMS catalog statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.composite.caching import CompositeStatistics
+from repro.errors import SimulationError
+from repro.stats.estimators import RunningStatistics
+
+
+@dataclass
+class ModelMetadata:
+    """Registered metadata for one component model."""
+
+    name: str
+    description: str = ""
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    declared_cost: Optional[float] = None
+    observed_cost: RunningStatistics = field(default_factory=RunningStatistics)
+    observed_output: RunningStatistics = field(default_factory=RunningStatistics)
+
+    def record_run(self, cost: float, output: Optional[float] = None) -> None:
+        """Fold one production-run observation into the statistics."""
+        if cost <= 0:
+            raise SimulationError("observed cost must be positive")
+        self.observed_cost.update(cost)
+        if output is not None:
+            self.observed_output.update(float(output))
+
+    @property
+    def best_cost_estimate(self) -> float:
+        """Observed mean cost when available, else the declared cost."""
+        if self.observed_cost.count > 0:
+            return self.observed_cost.mean
+        if self.declared_cost is not None:
+            return self.declared_cost
+        raise SimulationError(
+            f"no cost information for model {self.name!r}"
+        )
+
+
+class MetadataRegistry:
+    """A catalog of component-model metadata."""
+
+    def __init__(self) -> None:
+        self._models: Dict[str, ModelMetadata] = {}
+        self._pair_statistics: Dict[tuple, CompositeStatistics] = {}
+
+    def register(self, metadata: ModelMetadata) -> None:
+        """Add a model's metadata (name must be unique)."""
+        if metadata.name in self._models:
+            raise SimulationError(
+                f"model {metadata.name!r} already registered"
+            )
+        self._models[metadata.name] = metadata
+
+    def get(self, name: str) -> ModelMetadata:
+        """Fetch metadata by model name."""
+        try:
+            return self._models[name]
+        except KeyError:
+            raise SimulationError(
+                f"unknown model {name!r}; registered: {sorted(self._models)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def names(self) -> List[str]:
+        """Registered model names."""
+        return sorted(self._models)
+
+    # -- composite-pair statistics -----------------------------------------
+    def store_pair_statistics(
+        self, upstream: str, downstream: str, stats: CompositeStatistics
+    ) -> None:
+        """Cache the S = (c1, c2, V1, V2) tuple for a model pair.
+
+        Pilot-run statistics are expensive; storing them against the pair
+        lets their cost be "amortized over multiple model executions".
+        """
+        self.get(upstream)
+        self.get(downstream)
+        self._pair_statistics[(upstream, downstream)] = stats
+
+    def pair_statistics(
+        self, upstream: str, downstream: str
+    ) -> Optional[CompositeStatistics]:
+        """Previously stored statistics for a pair (or ``None``)."""
+        return self._pair_statistics.get((upstream, downstream))
+
+    def refresh_pair_costs(
+        self, upstream: str, downstream: str
+    ) -> Optional[CompositeStatistics]:
+        """Fold newly observed per-model costs into stored pair statistics.
+
+        Variances are kept; costs are replaced by the current best
+        estimates — the "continually improve performance" loop.
+        """
+        stats = self._pair_statistics.get((upstream, downstream))
+        if stats is None:
+            return None
+        refreshed = CompositeStatistics(
+            c1=self.get(upstream).best_cost_estimate,
+            c2=self.get(downstream).best_cost_estimate,
+            v1=stats.v1,
+            v2=stats.v2,
+        )
+        self._pair_statistics[(upstream, downstream)] = refreshed
+        return refreshed

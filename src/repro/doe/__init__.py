@@ -1,0 +1,47 @@
+"""Experimental designs for simulation (Section 4.2 of the paper).
+
+Two-level factorial families including the Figure 3 resolution III design
+(:mod:`repro.doe.factorial`) and Latin hypercube variants including the
+Figure 5 orthogonal LH and a nearly orthogonal LH construction
+(:mod:`repro.doe.latin`).
+"""
+
+from repro.doe.factorial import (
+    confounded_pairs,
+    fold_over,
+    fractional_factorial,
+    full_factorial,
+    is_orthogonal,
+    resolution_iii,
+    resolution_iv,
+    resolution_v,
+)
+from repro.doe.latin import (
+    centered_levels,
+    figure5_design,
+    is_latin,
+    max_abs_correlation,
+    maximin_distance,
+    nearly_orthogonal_lh,
+    randomized_lh,
+    scale_design,
+)
+
+__all__ = [
+    "centered_levels",
+    "confounded_pairs",
+    "figure5_design",
+    "fold_over",
+    "fractional_factorial",
+    "full_factorial",
+    "is_latin",
+    "is_orthogonal",
+    "max_abs_correlation",
+    "maximin_distance",
+    "nearly_orthogonal_lh",
+    "randomized_lh",
+    "resolution_iii",
+    "resolution_iv",
+    "resolution_v",
+    "scale_design",
+]

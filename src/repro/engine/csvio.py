@@ -1,0 +1,118 @@
+"""CSV import/export for tables.
+
+Splash-style loose coupling means "models communicate by reading and
+writing datasets" — in practice, files.  These helpers move tables
+between the relational engine and CSV files so component models can be
+driven by real artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.engine.schema import Schema
+from repro.engine.table import Table
+from repro.errors import SchemaError
+
+PathLike = Union[str, Path]
+
+
+def table_to_csv(table: Table, path: PathLike) -> int:
+    """Write a table to ``path`` (header + one row per tuple).
+
+    ``None`` values are written as empty fields.  Returns the number of
+    rows written.
+    """
+    path = Path(path)
+    names = list(table.schema.names)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        count = 0
+        for row in table:
+            writer.writerow(
+                ["" if row[n] is None else row[n] for n in names]
+            )
+            count += 1
+    return count
+
+
+def table_from_csv(
+    name: str,
+    path: PathLike,
+    schema: Optional[Schema] = None,
+) -> Table:
+    """Read a table from a CSV file with a header row.
+
+    With an explicit ``schema``, values are coerced to the declared
+    types (empty fields become ``None``).  Without one, types are
+    inferred per column: ``int`` if every non-empty value parses as an
+    integer, else ``float`` if every value parses as a float, else
+    ``str``.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty (no header row)") from None
+        raw_rows = [row for row in reader if row]
+    if not header:
+        raise SchemaError(f"{path} has an empty header row")
+    for row in raw_rows:
+        if len(row) != len(header):
+            raise SchemaError(
+                f"{path}: row with {len(row)} fields, header has "
+                f"{len(header)}"
+            )
+
+    if schema is None:
+        schema = _infer_schema(header, raw_rows)
+
+    table = Table(name, schema)
+    for raw in raw_rows:
+        record = {}
+        for column_name, value in zip(header, raw):
+            record[column_name] = None if value == "" else value
+        table.insert(record)
+    return table
+
+
+def _infer_schema(header: Sequence[str], rows: Sequence[Sequence[str]]) -> Schema:
+    spec = {}
+    for index, column_name in enumerate(header):
+        values = [row[index] for row in rows if row[index] != ""]
+        spec[column_name] = _infer_type(values)
+    return Schema.from_spec(spec)
+
+
+def _infer_type(values: Sequence[str]) -> str:
+    if not values:
+        return "str"
+    if all(_parses_as_int(v) for v in values):
+        return "int"
+    if all(_parses_as_float(v) for v in values):
+        return "float"
+    if all(v.lower() in ("true", "false") for v in values):
+        return "bool"
+    return "str"
+
+
+def _parses_as_int(value: str) -> bool:
+    try:
+        int(value)
+        return True
+    except ValueError:
+        return False
+
+
+def _parses_as_float(value: str) -> bool:
+    try:
+        float(value)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,432 @@
+"""Physical execution of logical plans.
+
+The executor interprets a plan tree against a catalog of base tables and
+produces row dictionaries.  Joins pick between a hash join (when the
+condition contains at least one equality between columns of opposite sides)
+and a nested-loop join otherwise; an :class:`ExecutionMetrics` object counts
+rows flowing through each operator so benchmarks can compare plan costs
+(e.g. the gridfields restrict/regrid commutation, or the full vs partitioned
+ABS self-join).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.engine import plan as lp
+from repro.engine.expressions import (
+    BinaryOp,
+    Column,
+    Expression,
+    conjuncts,
+)
+from repro.engine.table import Row, Table
+from repro.errors import QueryError
+
+
+@dataclass
+class ExecutionMetrics:
+    """Row-flow counters collected while executing a plan."""
+
+    rows_scanned: int = 0
+    rows_joined: int = 0
+    join_pairs_examined: int = 0
+    rows_output: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.rows_scanned = 0
+        self.rows_joined = 0
+        self.join_pairs_examined = 0
+        self.rows_output = 0
+
+
+class TableProvider:
+    """Minimal interface the executor needs: resolve a table by name."""
+
+    def resolve_table(self, name: str) -> Table:
+        """Return the base table registered under ``name``."""
+        raise NotImplementedError
+
+
+class _DictProvider(TableProvider):
+    def __init__(self, tables: Dict[str, Table]) -> None:
+        self._tables = tables
+
+    def resolve_table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(f"unknown table {name!r}") from None
+
+
+def provider_from(tables: Dict[str, Table]) -> TableProvider:
+    """Wrap a plain dict of tables as a :class:`TableProvider`."""
+    return _DictProvider(tables)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate machinery
+# ---------------------------------------------------------------------------
+
+
+class _AggState:
+    """Accumulator for a single aggregate over one group."""
+
+    def __init__(self, spec: lp.AggregateSpec) -> None:
+        self.spec = spec
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.seen: Optional[set] = set() if spec.distinct else None
+
+    def update(self, row: Row) -> None:
+        if self.spec.argument is None:
+            self.count += 1
+            return
+        value = self.spec.argument.evaluate(row)
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self.total += value
+            self.total_sq += value * value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def result(self) -> Any:
+        func = self.spec.func
+        if func == "count":
+            return self.count
+        if self.count == 0:
+            return None
+        if func == "sum":
+            return self.total
+        if func == "avg":
+            return self.total / self.count
+        if func == "min":
+            return self.minimum
+        if func == "max":
+            return self.maximum
+        # var / std (sample, ddof=1)
+        if self.count < 2:
+            return 0.0
+        mean = self.total / self.count
+        var = (self.total_sq - self.count * mean * mean) / (self.count - 1)
+        var = max(var, 0.0)
+        return var if func == "var" else math.sqrt(var)
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+def _equi_keys(
+    condition: Expression, left_rows_example: Row, right_rows_example: Row
+) -> Tuple[List[Expression], List[Expression], List[Expression]]:
+    """Split a join condition into equi-key pairs and a residual.
+
+    Returns ``(left_keys, right_keys, residual_conjuncts)`` where
+    ``left_keys[i] = right_keys[i]`` are usable for hashing.  Classification
+    is by column membership: a conjunct ``a = b`` whose sides reference
+    columns found exclusively in one input each becomes a key pair.
+    """
+    left_cols = set(left_rows_example)
+    right_cols = set(right_rows_example)
+
+    def side_of(expr: Expression) -> Optional[str]:
+        names = expr.columns()
+        if not names:
+            return None
+
+        def resolves(name: str, available: set) -> bool:
+            if name in available:
+                return True
+            suffix = "." + name
+            return any(k.endswith(suffix) for k in available)
+
+        in_left = all(resolves(n, left_cols) for n in names)
+        in_right = all(resolves(n, right_cols) for n in names)
+        if in_left and not in_right:
+            return "left"
+        if in_right and not in_left:
+            return "right"
+        return None
+
+    left_keys: List[Expression] = []
+    right_keys: List[Expression] = []
+    residual: List[Expression] = []
+    for conj in conjuncts(condition):
+        if isinstance(conj, BinaryOp) and conj.op == "=":
+            a_side = side_of(conj.left)
+            b_side = side_of(conj.right)
+            if a_side == "left" and b_side == "right":
+                left_keys.append(conj.left)
+                right_keys.append(conj.right)
+                continue
+            if a_side == "right" and b_side == "left":
+                left_keys.append(conj.right)
+                right_keys.append(conj.left)
+                continue
+        residual.append(conj)
+    return left_keys, right_keys, residual
+
+
+class Executor:
+    """Interprets logical plans against a table provider."""
+
+    def __init__(
+        self,
+        provider: TableProvider,
+        metrics: Optional[ExecutionMetrics] = None,
+    ) -> None:
+        self.provider = provider
+        self.metrics = metrics if metrics is not None else ExecutionMetrics()
+
+    def execute(self, node: lp.PlanNode) -> List[Row]:
+        """Execute ``node`` and materialize the output rows."""
+        rows = list(self._run(node))
+        self.metrics.rows_output += len(rows)
+        return rows
+
+    # -- node dispatch ---------------------------------------------------
+    def _run(self, node: lp.PlanNode) -> Iterator[Row]:
+        if isinstance(node, lp.Scan):
+            return self._scan(node)
+        if isinstance(node, lp.Values):
+            return iter([dict(r) for r in node.rows])
+        if isinstance(node, lp.Filter):
+            return self._filter(node)
+        if isinstance(node, lp.Project):
+            return self._project(node)
+        if isinstance(node, lp.Join):
+            return self._join(node)
+        if isinstance(node, lp.Aggregate):
+            return self._aggregate(node)
+        if isinstance(node, lp.OrderBy):
+            return self._order_by(node)
+        if isinstance(node, lp.Limit):
+            return self._limit(node)
+        if isinstance(node, lp.Distinct):
+            return self._distinct(node)
+        if isinstance(node, lp.Union):
+            return self._union(node)
+        raise QueryError(f"cannot execute plan node {type(node).__name__}")
+
+    def _scan(self, node: lp.Scan) -> Iterator[Row]:
+        table = self.provider.resolve_table(node.table)
+        prefix = node.alias
+        for row in table:
+            self.metrics.rows_scanned += 1
+            if prefix is None:
+                yield dict(row)
+            else:
+                yield {f"{prefix}.{k}": v for k, v in row.items()}
+
+    def _filter(self, node: lp.Filter) -> Iterator[Row]:
+        for row in self._run(node.child):
+            if node.predicate.evaluate(row) is True:
+                yield row
+
+    def _project(self, node: lp.Project) -> Iterator[Row]:
+        for row in self._run(node.child):
+            yield {
+                alias: expr.evaluate(row)
+                for alias, expr in zip(node.aliases, node.expressions)
+            }
+
+    def _join(self, node: lp.Join) -> Iterator[Row]:
+        left_rows = list(self._run(node.left))
+        right_rows = list(self._run(node.right))
+        if node.condition is None:
+            yield from self._nested_loop(left_rows, right_rows, None, node.how)
+            return
+        if not left_rows or not right_rows:
+            if node.how == "left" and left_rows:
+                # Preserve the right side's column names even when it is
+                # empty, so downstream references resolve to NULL.
+                null_right = self._static_null_row(node.right)
+                for lrow in left_rows:
+                    yield self._merge(lrow, null_right)
+            return
+        lkeys, rkeys, residual = _equi_keys(
+            node.condition, left_rows[0], right_rows[0]
+        )
+        if lkeys:
+            yield from self._hash_join(
+                left_rows, right_rows, lkeys, rkeys, residual, node.how
+            )
+        else:
+            yield from self._nested_loop(
+                left_rows, right_rows, node.condition, node.how
+            )
+
+    def _merge(self, left: Row, right: Row) -> Row:
+        merged = dict(left)
+        for key, value in right.items():
+            if key in merged and merged[key] != value:
+                raise QueryError(
+                    f"join output would clobber column {key!r}; "
+                    "alias one side of the join"
+                )
+            merged[key] = value
+        return merged
+
+    def _null_right(self, example: Row) -> Row:
+        return {k: None for k in example}
+
+    def _static_null_row(self, node: lp.PlanNode) -> Row:
+        """An all-NULL row with the column names a plan would produce.
+
+        Used for left joins whose right side yields zero rows: the
+        output schema is derived statically (scan schemas, projection
+        aliases, aggregate aliases) rather than from example rows.
+        """
+        if isinstance(node, lp.Scan):
+            names = self.provider.resolve_table(node.table).schema.names
+            prefix = f"{node.alias}." if node.alias else ""
+            return {f"{prefix}{n}": None for n in names}
+        if isinstance(node, lp.Project):
+            return {alias: None for alias in node.aliases}
+        if isinstance(node, lp.Aggregate):
+            out = {alias: None for alias in node.group_aliases}
+            out.update({spec.alias: None for spec in node.aggregates})
+            return out
+        if isinstance(node, lp.Values):
+            return (
+                {k: None for k in node.rows[0]} if node.rows else {}
+            )
+        children = node.children()
+        if len(children) == 1:
+            return self._static_null_row(children[0])
+        if isinstance(node, (lp.Join, lp.Union)) and children:
+            merged: Row = {}
+            for child in children:
+                merged.update(self._static_null_row(child))
+            return merged
+        return {}
+
+    def _hash_join(
+        self,
+        left_rows: List[Row],
+        right_rows: List[Row],
+        lkeys: List[Expression],
+        rkeys: List[Expression],
+        residual: List[Expression],
+        how: str,
+    ) -> Iterator[Row]:
+        index: Dict[Tuple, List[Row]] = {}
+        for row in right_rows:
+            key = tuple(k.evaluate(row) for k in rkeys)
+            index.setdefault(key, []).append(row)
+        null_right = self._null_right(right_rows[0]) if right_rows else {}
+        for lrow in left_rows:
+            key = tuple(k.evaluate(lrow) for k in lkeys)
+            matched = False
+            for rrow in index.get(key, ()):
+                self.metrics.join_pairs_examined += 1
+                merged = self._merge(lrow, rrow)
+                if all(c.evaluate(merged) is True for c in residual):
+                    matched = True
+                    self.metrics.rows_joined += 1
+                    yield merged
+            if not matched and how == "left":
+                yield self._merge(lrow, null_right)
+
+    def _nested_loop(
+        self,
+        left_rows: List[Row],
+        right_rows: List[Row],
+        condition: Optional[Expression],
+        how: str,
+    ) -> Iterator[Row]:
+        null_right = self._null_right(right_rows[0]) if right_rows else {}
+        for lrow in left_rows:
+            matched = False
+            for rrow in right_rows:
+                self.metrics.join_pairs_examined += 1
+                merged = self._merge(lrow, rrow)
+                if condition is None or condition.evaluate(merged) is True:
+                    matched = True
+                    self.metrics.rows_joined += 1
+                    yield merged
+            if not matched and how == "left":
+                yield self._merge(lrow, null_right)
+
+    def _aggregate(self, node: lp.Aggregate) -> Iterator[Row]:
+        groups: Dict[Tuple, Tuple[Row, List[_AggState]]] = {}
+        for row in self._run(node.child):
+            key = tuple(expr.evaluate(row) for expr in node.group_by)
+            if key not in groups:
+                key_row = {
+                    alias: value
+                    for alias, value in zip(node.group_aliases, key)
+                }
+                groups[key] = (
+                    key_row,
+                    [_AggState(spec) for spec in node.aggregates],
+                )
+            for state in groups[key][1]:
+                state.update(row)
+        if not groups and not node.group_by:
+            # Global aggregate over zero rows still yields one row.
+            states = [_AggState(spec) for spec in node.aggregates]
+            yield {s.spec.alias: s.result() for s in states}
+            return
+        for key_row, states in groups.values():
+            out = dict(key_row)
+            for state in states:
+                out[state.spec.alias] = state.result()
+            yield out
+
+    def _order_by(self, node: lp.OrderBy) -> Iterator[Row]:
+        rows = list(self._run(node.child))
+        # Stable sort applied from the last key to the first.
+        for key, desc in list(zip(node.keys, node.descending))[::-1]:
+            rows.sort(
+                key=lambda r, k=key: (
+                    (k.evaluate(r) is None),
+                    k.evaluate(r),
+                ),
+                reverse=desc,
+            )
+        return iter(rows)
+
+    def _limit(self, node: lp.Limit) -> Iterator[Row]:
+        count = 0
+        for row in self._run(node.child):
+            if count >= node.count:
+                return
+            count += 1
+            yield row
+
+    def _distinct(self, node: lp.Distinct) -> Iterator[Row]:
+        seen = set()
+        for row in self._run(node.child):
+            key = tuple(sorted(row.items()))
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    def _union(self, node: lp.Union) -> Iterator[Row]:
+        left_rows = list(self._run(node.left))
+        right_rows = list(self._run(node.right))
+        if left_rows and right_rows:
+            if set(left_rows[0]) != set(right_rows[0]):
+                raise QueryError(
+                    "UNION inputs have different columns: "
+                    f"{sorted(left_rows[0])} vs {sorted(right_rows[0])}"
+                )
+        yield from left_rows
+        yield from right_rows

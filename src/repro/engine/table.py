@@ -1,0 +1,201 @@
+"""In-memory tables for the relational engine.
+
+Rows are stored as validated dictionaries.  Tables are the unit that the
+Monte Carlo database (``repro.mcdb``), the Indemics engine
+(``repro.epidemics``) and the agent-based self-join machinery
+(``repro.abs.selfjoin``) build on.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.engine.expressions import Expression
+from repro.engine.schema import Column, Schema
+from repro.errors import SchemaError
+
+Row = Dict[str, Any]
+
+
+class Table:
+    """A named, schema-validated bag of rows.
+
+    Examples
+    --------
+    >>> t = Table("person", Schema.of(pid=int, age=int))
+    >>> t.insert({"pid": 1, "age": 30})
+    >>> len(t)
+    1
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Optional[Iterable[Mapping[str, Any]]] = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self._rows: List[Row] = []
+        if rows is not None:
+            self.insert_many(rows)
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls, name: str, rows: Sequence[Mapping[str, Any]]
+    ) -> "Table":
+        """Infer a schema from the first row and build the table."""
+        if not rows:
+            raise SchemaError("cannot infer a schema from zero rows")
+        first = rows[0]
+        cols = []
+        for key, value in first.items():
+            dtype: type
+            if isinstance(value, bool):
+                dtype = bool
+            elif isinstance(value, (int, np.integer)):
+                dtype = int
+            elif isinstance(value, (float, np.floating)):
+                dtype = float
+            else:
+                dtype = str
+            cols.append(Column(key, dtype))
+        return cls(name, Schema(cols), rows)
+
+    @classmethod
+    def from_columns(
+        cls, name: str, columns: Mapping[str, Sequence[Any]]
+    ) -> "Table":
+        """Build a table from parallel column arrays."""
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns with lengths {lengths}")
+        n = lengths.pop() if lengths else 0
+        rows = [
+            {key: values[i] for key, values in columns.items()}
+            for i in range(n)
+        ]
+        if not rows:
+            raise SchemaError("from_columns needs at least one row")
+        return cls.from_rows(name, rows)
+
+    # -- mutation ----------------------------------------------------------
+    def insert(self, row: Mapping[str, Any]) -> None:
+        """Validate, coerce and append one row."""
+        self._rows.append(self.schema.validate_row(row))
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete_where(self, predicate: Expression) -> int:
+        """Delete rows satisfying ``predicate``; returns the count removed."""
+        before = len(self._rows)
+        self._rows = [
+            r for r in self._rows if predicate.evaluate(r) is not True
+        ]
+        return before - len(self._rows)
+
+    def update_where(
+        self,
+        predicate: Expression,
+        assignments: Mapping[str, Expression],
+    ) -> int:
+        """Apply ``column := expression`` to rows matching ``predicate``."""
+        unknown = set(assignments) - set(self.schema.names)
+        if unknown:
+            raise SchemaError(f"cannot update unknown columns {sorted(unknown)}")
+        count = 0
+        for row in self._rows:
+            if predicate.evaluate(row) is True:
+                updates = {
+                    name: self.schema.column(name).coerce(expr.evaluate(row))
+                    for name, expr in assignments.items()
+                }
+                row.update(updates)
+                count += 1
+        return count
+
+    def truncate(self) -> None:
+        """Remove all rows."""
+        self._rows.clear()
+
+    # -- access ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows, {self.schema!r})"
+
+    @property
+    def rows(self) -> List[Row]:
+        """Direct (mutable) access to the stored rows."""
+        return self._rows
+
+    def column_values(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        self.schema.column(name)
+        return [row[name] for row in self._rows]
+
+    def column_array(self, name: str) -> np.ndarray:
+        """One numeric column as a numpy array (``None`` becomes ``nan``)."""
+        values = self.column_values(name)
+        return np.array(
+            [np.nan if v is None else v for v in values], dtype=float
+        )
+
+    def copy(self, name: Optional[str] = None) -> "Table":
+        """A deep-enough copy (rows are copied, values shared)."""
+        clone = Table(name or self.name, self.schema)
+        clone._rows = [dict(r) for r in self._rows]
+        return clone
+
+    def head(self, n: int = 5) -> List[Row]:
+        """The first ``n`` rows (for inspection and doctests)."""
+        return [dict(r) for r in self._rows[:n]]
+
+    def to_pretty_string(self, limit: int = 20) -> str:
+        """A fixed-width textual rendering for reports and benchmarks."""
+        names = list(self.schema.names)
+        shown = self._rows[:limit]
+        cells = [
+            [("" if row[n] is None else str(row[n])) for n in names]
+            for row in shown
+        ]
+        widths = [
+            max([len(n)] + [len(row[i]) for row in cells])
+            for i, n in enumerate(names)
+        ]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [header, sep]
+        for row in cells:
+            lines.append(
+                " | ".join(v.ljust(w) for v, w in zip(row, widths))
+            )
+        if len(self._rows) > limit:
+            lines.append(f"... ({len(self._rows) - limit} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Indemics-style interactive epidemic simulation (Section 2.4).
+
+A synthetic population (:mod:`repro.epidemics.population`) embedded in a
+contact network (:mod:`repro.epidemics.network`) evolves under a SEIR
+process (:mod:`repro.epidemics.disease`); the
+:class:`~repro.epidemics.engine.IndemicsEngine` interleaves that "HPC"
+simulation with SQL observation and intervention queries against the
+relational engine, and :mod:`repro.epidemics.interventions` scripts the
+paper's Algorithm 1 policy.
+"""
+
+from repro.epidemics.disease import (
+    DiseaseParameters,
+    HealthState,
+    PersonHealth,
+    SEIRProcess,
+)
+from repro.epidemics.engine import DailyRecord, IndemicsEngine
+from repro.epidemics.interventions import (
+    InterventionPolicy,
+    PolicyLogEntry,
+    SchoolClosurePolicy,
+    VaccinatePreschoolersPolicy,
+    run_with_policy,
+)
+from repro.epidemics.network import (
+    build_contact_network,
+    deactivate_edges,
+    reactivate_all,
+)
+from repro.epidemics.population import (
+    Person,
+    SyntheticPopulation,
+    generate_population,
+)
+
+__all__ = [
+    "DailyRecord",
+    "DiseaseParameters",
+    "HealthState",
+    "IndemicsEngine",
+    "InterventionPolicy",
+    "Person",
+    "PersonHealth",
+    "PolicyLogEntry",
+    "SEIRProcess",
+    "SchoolClosurePolicy",
+    "SyntheticPopulation",
+    "VaccinatePreschoolersPolicy",
+    "build_contact_network",
+    "deactivate_edges",
+    "generate_population",
+    "reactivate_all",
+    "run_with_policy",
+]

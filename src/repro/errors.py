@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch any failure originating in this package with a single handler while
+still being able to discriminate the subsystem that raised it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SchemaError(ReproError):
+    """A relation was used with an incompatible or malformed schema."""
+
+
+class QueryError(ReproError):
+    """A relational query is malformed or references unknown objects."""
+
+
+class CatalogError(ReproError):
+    """A database catalog operation failed (missing/duplicate tables)."""
+
+
+class VGFunctionError(ReproError):
+    """A variable-generation (VG) function was invoked incorrectly."""
+
+
+class SimulationError(ReproError):
+    """A simulation model failed to execute or was configured wrongly."""
+
+
+class AlignmentError(ReproError):
+    """A time- or schema-alignment transformation cannot be performed."""
+
+
+class DesignError(ReproError):
+    """An experimental design cannot be constructed as requested."""
+
+
+class CalibrationError(ReproError):
+    """A calibration procedure failed to converge or was misconfigured."""
+
+
+class GridError(ReproError):
+    """A gridfield operation was applied to incompatible grids."""
+
+
+class FilteringError(ReproError):
+    """A particle-filtering operation failed (e.g. total weight collapse)."""

@@ -1,0 +1,26 @@
+"""The gridfield algebra of Howe & Maier (Section 2.2 of the paper).
+
+Grids with incidence relations (:mod:`repro.gridfields.grid`), data
+bindings with restrict/regrid/merge operators
+(:mod:`repro.gridfields.gridfield`), and the restrict-regrid commutation
+rewrite (:mod:`repro.gridfields.optimize`).
+"""
+
+from repro.gridfields.grid import Grid, regular_grid_2d
+from repro.gridfields.gridfield import AGGREGATES, GridField, OpCost
+from repro.gridfields.optimize import (
+    plans_agree,
+    regrid_then_restrict,
+    restrict_then_regrid,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "Grid",
+    "GridField",
+    "OpCost",
+    "plans_agree",
+    "regrid_then_restrict",
+    "regular_grid_2d",
+    "restrict_then_regrid",
+]

@@ -1,0 +1,72 @@
+"""Data harmonization at scale (Splash, Section 2.2 of the paper).
+
+Time-series containers (:mod:`repro.harmonize.timeseries`), Clio++-style
+schema alignment (:mod:`repro.harmonize.schema_mapping`), time alignment
+with sequential and MapReduce execution
+(:mod:`repro.harmonize.time_alignment`), the natural-cubic-spline kernel
+(:mod:`repro.harmonize.spline`), (D)SGD solvers for the spline's
+tridiagonal system (:mod:`repro.harmonize.dsgd`) and DSGD matrix
+completion (:mod:`repro.harmonize.matrix_completion`).
+"""
+
+from repro.harmonize.dsgd import (
+    SGDConfig,
+    SolveResult,
+    direct_solver_shuffle_cost,
+    dsgd_solve,
+    sgd_solve,
+    strata_indices,
+)
+from repro.harmonize.matrix_completion import (
+    FactorizationResult,
+    RatingsMatrix,
+    dsgd_factorize,
+    sgd_factorize,
+)
+from repro.harmonize.schema_mapping import (
+    FieldMapping,
+    MismatchReport,
+    SchemaMapping,
+    convert_units,
+)
+from repro.harmonize.spline import (
+    NaturalCubicSpline,
+    evaluate_window,
+    linear_interpolate,
+)
+from repro.harmonize.time_alignment import (
+    AlignmentClass,
+    TimeAligner,
+    aggregate_series,
+    classify_alignment,
+    interpolate_on_cluster,
+    interpolate_series,
+)
+from repro.harmonize.timeseries import TimeSeries
+
+__all__ = [
+    "AlignmentClass",
+    "FactorizationResult",
+    "FieldMapping",
+    "MismatchReport",
+    "NaturalCubicSpline",
+    "RatingsMatrix",
+    "SGDConfig",
+    "SchemaMapping",
+    "SolveResult",
+    "TimeAligner",
+    "TimeSeries",
+    "aggregate_series",
+    "classify_alignment",
+    "convert_units",
+    "direct_solver_shuffle_cost",
+    "dsgd_factorize",
+    "dsgd_solve",
+    "evaluate_window",
+    "interpolate_on_cluster",
+    "interpolate_series",
+    "linear_interpolate",
+    "sgd_factorize",
+    "sgd_solve",
+    "strata_indices",
+]

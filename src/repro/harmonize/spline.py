@@ -1,0 +1,133 @@
+"""Natural cubic spline interpolation (the paper's Section 2.2 formula).
+
+Given source observations ``(s_0, d_0), ..., (s_m, d_m)``, a target value at
+time ``t in [s_j, s_{j+1})`` is
+
+.. math::
+
+    \\tilde d =
+      \\frac{\\sigma_j}{6 h_j} (s_{j+1} - t)^3
+    + \\frac{\\sigma_{j+1}}{6 h_j} (t - s_j)^3
+    + \\Big(\\frac{d_{j+1}}{h_j} - \\frac{\\sigma_{j+1} h_j}{6}\\Big)(t - s_j)
+    + \\Big(\\frac{d_j}{h_j} - \\frac{\\sigma_j h_j}{6}\\Big)(s_{j+1} - t)
+
+with ``h_j = s_{j+1} - s_j`` and spline constants ``sigma`` solving the
+tridiagonal system built by :func:`repro.stats.linalg.spline_system`
+(natural boundary: ``sigma_0 = sigma_m = 0``).  The constants "depend on the
+entire input dataset" — this global coupling is exactly what makes the
+MapReduce implementation interesting (see :mod:`repro.harmonize.dsgd`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.stats.linalg import spline_system, thomas_solve
+
+
+@dataclass(frozen=True)
+class NaturalCubicSpline:
+    """A fitted natural cubic spline."""
+
+    knots: np.ndarray
+    values: np.ndarray
+    sigma: np.ndarray  # length m+1, with sigma[0] = sigma[m] = 0
+
+    @classmethod
+    def fit(
+        cls,
+        knots: Sequence[float],
+        values: Sequence[float],
+        sigma_interior: Optional[np.ndarray] = None,
+    ) -> "NaturalCubicSpline":
+        """Fit the spline; solves for constants unless they are supplied.
+
+        ``sigma_interior`` (length ``m - 1``) lets callers plug in
+        constants obtained from an alternative solver — e.g. the
+        distributed SGD of :func:`repro.harmonize.dsgd.dsgd_solve`.
+        """
+        s = np.asarray(knots, dtype=float)
+        d = np.asarray(values, dtype=float)
+        if s.ndim != 1 or s.shape != d.shape or s.size < 3:
+            raise AlignmentError(
+                "spline needs >= 3 equal-length knots/values"
+            )
+        if np.any(np.diff(s) <= 0):
+            raise AlignmentError("knots must be strictly increasing")
+        if sigma_interior is None:
+            sigma_interior = thomas_solve(spline_system(s, d))
+        sigma_interior = np.asarray(sigma_interior, dtype=float)
+        if sigma_interior.shape != (s.size - 2,):
+            raise AlignmentError(
+                f"sigma_interior has shape {sigma_interior.shape}, "
+                f"expected ({s.size - 2},)"
+            )
+        sigma = np.concatenate([[0.0], sigma_interior, [0.0]])
+        return cls(knots=s, values=d, sigma=sigma)
+
+    def evaluate(self, t: Sequence[float]) -> np.ndarray:
+        """Evaluate the spline at times ``t`` (within the knot range)."""
+        t = np.asarray(t, dtype=float)
+        if np.any(t < self.knots[0]) or np.any(t > self.knots[-1]):
+            raise AlignmentError(
+                f"evaluation times outside knot range "
+                f"[{self.knots[0]}, {self.knots[-1]}]"
+            )
+        j = np.clip(
+            np.searchsorted(self.knots, t, side="right") - 1,
+            0,
+            self.knots.size - 2,
+        )
+        return evaluate_window(
+            self.knots[j],
+            self.knots[j + 1],
+            self.values[j],
+            self.values[j + 1],
+            self.sigma[j],
+            self.sigma[j + 1],
+            t,
+        )
+
+
+def evaluate_window(
+    s_j: np.ndarray,
+    s_j1: np.ndarray,
+    d_j: np.ndarray,
+    d_j1: np.ndarray,
+    sigma_j: np.ndarray,
+    sigma_j1: np.ndarray,
+    t: np.ndarray,
+) -> np.ndarray:
+    """The paper's interpolation formula for one window.
+
+    All arguments broadcast; this is the per-window kernel that the
+    MapReduce interpolation ships to map tasks — each window needs only its
+    two endpoints and two spline constants.
+    """
+    h = s_j1 - s_j
+    left = s_j1 - t
+    right = t - s_j
+    return (
+        sigma_j / (6.0 * h) * left**3
+        + sigma_j1 / (6.0 * h) * right**3
+        + (d_j1 / h - sigma_j1 * h / 6.0) * right
+        + (d_j / h - sigma_j * h / 6.0) * left
+    )
+
+
+def linear_interpolate(
+    knots: Sequence[float],
+    values: Sequence[float],
+    t: Sequence[float],
+) -> np.ndarray:
+    """Plain linear interpolation (the cheap alignment alternative)."""
+    s = np.asarray(knots, dtype=float)
+    d = np.asarray(values, dtype=float)
+    t = np.asarray(t, dtype=float)
+    if np.any(t < s[0]) or np.any(t > s[-1]):
+        raise AlignmentError("evaluation times outside knot range")
+    return np.interp(t, s, d)

@@ -1,0 +1,26 @@
+"""Simulated MapReduce substrate (stands in for Hadoop).
+
+SimSQL executes queries on Hadoop and Splash compiles data transformations
+to Hadoop jobs; this subpackage provides an in-process runtime with the
+same programming contract (mapper/combiner/reducer, hash shuffle, per-key
+grouping) plus counters that expose shuffle volume — the quantity the
+paper's DSGD discussion turns on.
+"""
+
+from repro.mapreduce.counters import JobCounters
+from repro.mapreduce.job import (
+    MapReduceJob,
+    identity_mapper,
+    identity_reducer,
+    sum_reducer,
+)
+from repro.mapreduce.runtime import Cluster
+
+__all__ = [
+    "Cluster",
+    "JobCounters",
+    "MapReduceJob",
+    "identity_mapper",
+    "identity_reducer",
+    "sum_reducer",
+]

@@ -1,0 +1,82 @@
+"""Counters for the simulated MapReduce runtime.
+
+The paper's DSGD argument (Section 2.2) is fundamentally about *shuffle
+volume*: direct tridiagonal solvers "do not translate well to a MapReduce
+environment, because massive amounts of data shuffling are required",
+whereas stratified SGD shuffles a negligible amount.  These counters make
+that comparison measurable on the in-process runtime.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+@dataclass
+class JobCounters:
+    """Record-flow counters for one MapReduce job."""
+
+    records_read: int = 0
+    records_mapped: int = 0
+    records_shuffled: int = 0
+    shuffle_bytes: int = 0
+    records_reduced: int = 0
+    records_written: int = 0
+    custom: Dict[str, int] = field(default_factory=dict)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Increment a user-defined counter."""
+        self.custom[name] = self.custom.get(name, 0) + amount
+
+    def account_shuffle(self, key: Any, value: Any) -> None:
+        """Count one intermediate record crossing the shuffle."""
+        self.records_shuffled += 1
+        self.shuffle_bytes += _approximate_size(key) + _approximate_size(value)
+
+    def merge(self, other: "JobCounters") -> "JobCounters":
+        """Combine counters from two jobs (for multi-job pipelines)."""
+        merged = JobCounters(
+            records_read=self.records_read + other.records_read,
+            records_mapped=self.records_mapped + other.records_mapped,
+            records_shuffled=self.records_shuffled + other.records_shuffled,
+            shuffle_bytes=self.shuffle_bytes + other.shuffle_bytes,
+            records_reduced=self.records_reduced + other.records_reduced,
+            records_written=self.records_written + other.records_written,
+        )
+        merged.custom = dict(self.custom)
+        for name, count in other.custom.items():
+            merged.custom[name] = merged.custom.get(name, 0) + count
+        return merged
+
+    def summary(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"read={self.records_read} mapped={self.records_mapped} "
+            f"shuffled={self.records_shuffled} "
+            f"(~{self.shuffle_bytes} B) reduced={self.records_reduced} "
+            f"written={self.records_written}"
+        )
+
+
+def _approximate_size(obj: Any) -> int:
+    """Cheap size estimate of a record for shuffle accounting."""
+    if isinstance(obj, (int, float, bool)) or obj is None:
+        return 8
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(_approximate_size(x) for x in obj) + 8
+    if isinstance(obj, dict):
+        return (
+            sum(
+                _approximate_size(k) + _approximate_size(v)
+                for k, v in obj.items()
+            )
+            + 8
+        )
+    try:
+        return sys.getsizeof(obj)
+    except TypeError:
+        return 64

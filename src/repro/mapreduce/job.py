@@ -1,0 +1,64 @@
+"""MapReduce job specifications.
+
+A job is just three callables — ``mapper``, optional ``combiner``, and
+``reducer`` — following the Hadoop contract the paper's Splash/SimSQL
+systems target:
+
+* ``mapper(key, value)`` yields zero or more ``(key, value)`` pairs;
+* ``combiner(key, values)`` (optional) pre-aggregates map output locally;
+* ``reducer(key, values)`` yields zero or more ``(key, value)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional, Tuple
+
+KeyValue = Tuple[Any, Any]
+Mapper = Callable[[Any, Any], Iterable[KeyValue]]
+Reducer = Callable[[Any, Iterable[Any]], Iterable[KeyValue]]
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """Specification of one MapReduce job.
+
+    Examples
+    --------
+    Word count::
+
+        def mapper(_, line):
+            for word in line.split():
+                yield word, 1
+
+        def reducer(word, counts):
+            yield word, sum(counts)
+
+        job = MapReduceJob("wordcount", mapper, reducer)
+    """
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Optional[Reducer] = None
+    num_reducers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+
+
+def identity_mapper(key: Any, value: Any) -> Iterator[KeyValue]:
+    """A mapper that forwards its input pair unchanged."""
+    yield key, value
+
+
+def identity_reducer(key: Any, values: Iterable[Any]) -> Iterator[KeyValue]:
+    """A reducer that forwards each value unchanged."""
+    for value in values:
+        yield key, value
+
+
+def sum_reducer(key: Any, values: Iterable[Any]) -> Iterator[KeyValue]:
+    """A reducer (and combiner) that sums numeric values per key."""
+    yield key, sum(values)

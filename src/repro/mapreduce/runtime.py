@@ -1,0 +1,170 @@
+"""An in-process MapReduce runtime with faithful phase semantics.
+
+The runtime executes jobs split-by-split and partition-by-partition exactly
+as a real cluster would — map tasks see only their split, combiners run per
+map task, the shuffle hashes keys to reduce partitions, reducers see values
+grouped by key — while counting every record that would cross the network.
+This is the substrate on which SimSQL query execution
+(:mod:`repro.simsql.mapreduce_exec`), Splash time alignment
+(:mod:`repro.harmonize.time_alignment`) and DSGD
+(:mod:`repro.harmonize.dsgd`) run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.mapreduce.counters import JobCounters
+from repro.mapreduce.job import KeyValue, MapReduceJob
+
+
+def _partition_index(key: Any, num_partitions: int) -> int:
+    """Deterministic key-to-partition assignment.
+
+    Uses a stable string-based hash so results do not depend on Python's
+    per-process hash randomization.
+    """
+    text = repr(key)
+    acc = 0
+    for ch in text:
+        acc = (acc * 31 + ord(ch)) % 1_000_000_007
+    return acc % num_partitions
+
+
+class Cluster:
+    """A simulated MapReduce cluster.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of map slots; inputs are split round-robin across workers.
+
+    Examples
+    --------
+    >>> from repro.mapreduce.job import MapReduceJob, sum_reducer
+    >>> def mapper(_, word):
+    ...     yield word, 1
+    >>> job = MapReduceJob("wc", mapper, sum_reducer)
+    >>> cluster = Cluster(num_workers=2)
+    >>> sorted(cluster.run(job, [(None, "a"), (None, "b"), (None, "a")]))
+    [('a', 2), ('b', 1)]
+    """
+
+    def __init__(self, num_workers: int = 4) -> None:
+        if num_workers < 1:
+            raise SimulationError("cluster needs at least one worker")
+        self.num_workers = num_workers
+        self.history: List[Tuple[str, JobCounters]] = []
+
+    # -- public API ---------------------------------------------------------
+    def run(
+        self,
+        job: MapReduceJob,
+        inputs: Iterable[KeyValue],
+        counters: Optional[JobCounters] = None,
+    ) -> List[KeyValue]:
+        """Execute one job over ``inputs`` and return the reduce output."""
+        counters = counters if counters is not None else JobCounters()
+        splits = self._split(list(inputs), counters)
+        map_outputs = [
+            self._run_map_task(job, split, counters) for split in splits
+        ]
+        partitions = self._shuffle(job, map_outputs, counters)
+        output: List[KeyValue] = []
+        for partition in partitions:
+            output.extend(self._run_reduce_task(job, partition, counters))
+        counters.records_written += len(output)
+        self.history.append((job.name, counters))
+        return output
+
+    def run_chain(
+        self,
+        jobs: Sequence[MapReduceJob],
+        inputs: Iterable[KeyValue],
+    ) -> Tuple[List[KeyValue], JobCounters]:
+        """Execute a pipeline of jobs, feeding each job's output to the next.
+
+        Returns the final output along with merged counters over all stages.
+        """
+        total = JobCounters()
+        current: Iterable[KeyValue] = inputs
+        for job in jobs:
+            stage_counters = JobCounters()
+            current = self.run(job, current, stage_counters)
+            total = total.merge(stage_counters)
+        return list(current), total
+
+    def last_counters(self) -> JobCounters:
+        """Counters of the most recently executed job."""
+        if not self.history:
+            raise SimulationError("no job has been executed yet")
+        return self.history[-1][1]
+
+    # -- phases ------------------------------------------------------------
+    def _split(
+        self, inputs: List[KeyValue], counters: JobCounters
+    ) -> List[List[KeyValue]]:
+        counters.records_read += len(inputs)
+        splits: List[List[KeyValue]] = [[] for _ in range(self.num_workers)]
+        for i, record in enumerate(inputs):
+            splits[i % self.num_workers].append(record)
+        return [s for s in splits if s]
+
+    def _run_map_task(
+        self,
+        job: MapReduceJob,
+        split: List[KeyValue],
+        counters: JobCounters,
+    ) -> List[KeyValue]:
+        out: List[KeyValue] = []
+        for key, value in split:
+            for pair in job.mapper(key, value):
+                counters.records_mapped += 1
+                out.append(pair)
+        if job.combiner is None:
+            return out
+        # Combiner runs locally per map task, on that task's output only.
+        grouped: Dict[Any, List[Any]] = {}
+        order: List[Any] = []
+        for key, value in out:
+            if key not in grouped:
+                grouped[key] = []
+                order.append(key)
+            grouped[key].append(value)
+        combined: List[KeyValue] = []
+        for key in order:
+            combined.extend(job.combiner(key, grouped[key]))
+        return combined
+
+    def _shuffle(
+        self,
+        job: MapReduceJob,
+        map_outputs: List[List[KeyValue]],
+        counters: JobCounters,
+    ) -> List[List[Tuple[Any, List[Any]]]]:
+        partitions: List[Dict[Any, List[Any]]] = [
+            {} for _ in range(job.num_reducers)
+        ]
+        for task_output in map_outputs:
+            for key, value in task_output:
+                counters.account_shuffle(key, value)
+                bucket = partitions[_partition_index(key, job.num_reducers)]
+                bucket.setdefault(key, []).append(value)
+        # Keys are sorted within each partition, mirroring Hadoop's sort.
+        return [
+            sorted(p.items(), key=lambda kv: repr(kv[0]))
+            for p in partitions
+        ]
+
+    def _run_reduce_task(
+        self,
+        job: MapReduceJob,
+        partition: List[Tuple[Any, List[Any]]],
+        counters: JobCounters,
+    ) -> List[KeyValue]:
+        out: List[KeyValue] = []
+        for key, values in partition:
+            counters.records_reduced += len(values)
+            out.extend(job.reducer(key, values))
+        return out

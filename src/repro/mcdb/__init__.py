@@ -1,0 +1,53 @@
+"""MCDB — the Monte Carlo Database System (Section 2.1 of the paper).
+
+Stochastic tables are described by VG-function specifications
+(:mod:`repro.mcdb.random_table`); queries over them return samples of the
+query-result distribution (:mod:`repro.mcdb.executor`), executed either
+naively (one plan execution per Monte Carlo iteration) or via tuple
+bundles (:mod:`repro.mcdb.tuple_bundle`, one plan execution total).
+Risk-analysis extensions (MCDB-R) live in :mod:`repro.mcdb.risk`.
+"""
+
+from repro.mcdb.executor import MonteCarloDatabase, QueryDistribution
+from repro.mcdb.random_table import RandomTableSpec
+from repro.mcdb.risk import (
+    TailQuantileEstimate,
+    ThresholdResult,
+    conditional_value_at_risk,
+    extreme_quantile,
+    threshold_query,
+    value_at_risk,
+)
+from repro.mcdb.tuple_bundle import MASK_COLUMN, BundledTable
+from repro.mcdb.vg import (
+    BackwardRandomWalkVG,
+    BayesianDemandVG,
+    DiscreteChoiceVG,
+    DistributionVG,
+    NormalVG,
+    PoissonVG,
+    StockOptionVG,
+    VGFunction,
+)
+
+__all__ = [
+    "MASK_COLUMN",
+    "BackwardRandomWalkVG",
+    "BayesianDemandVG",
+    "BundledTable",
+    "DiscreteChoiceVG",
+    "DistributionVG",
+    "MonteCarloDatabase",
+    "NormalVG",
+    "PoissonVG",
+    "QueryDistribution",
+    "RandomTableSpec",
+    "StockOptionVG",
+    "TailQuantileEstimate",
+    "ThresholdResult",
+    "VGFunction",
+    "conditional_value_at_risk",
+    "extreme_quantile",
+    "threshold_query",
+    "value_at_risk",
+]

@@ -1,0 +1,193 @@
+"""Monte Carlo query execution: naive replications vs tuple bundles.
+
+:class:`MonteCarloDatabase` wraps a deterministic
+:class:`~repro.engine.catalog.Database` plus a set of
+:class:`~repro.mcdb.random_table.RandomTableSpec` objects.  Running a query
+yields a :class:`QueryDistribution` — samples from the query-result
+distribution, with estimator helpers.
+
+Two execution strategies are provided:
+
+* :meth:`MonteCarloDatabase.run_naive` — instantiate every random table and
+  execute the query plan once *per Monte Carlo iteration* (the straw-man
+  MCDB is built to beat);
+* :meth:`MonteCarloDatabase.run_bundled` — instantiate tuple bundles and
+  execute a bundle-aware plan exactly once.
+
+Both strategies sample the same distributions; the benchmark
+``benchmarks/bench_mcdb_tuple_bundles.py`` compares their cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.catalog import Database
+from repro.errors import SimulationError
+from repro.mcdb.random_table import RandomTableSpec
+from repro.mcdb.tuple_bundle import BundledTable
+from repro.stats.estimators import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    quantile_confidence_interval,
+    sample_mean,
+    sample_quantile,
+    sample_variance,
+)
+
+
+@dataclass(frozen=True)
+class QueryDistribution:
+    """Samples of a query-result distribution plus estimator helpers."""
+
+    samples: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of Monte Carlo samples."""
+        return int(self.samples.shape[0])
+
+    def expectation(self) -> float:
+        """Estimated expected value of the query result."""
+        return sample_mean(self.samples)
+
+    def variance(self) -> float:
+        """Estimated variance of the query result."""
+        return sample_variance(self.samples)
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile of the query result."""
+        return sample_quantile(self.samples, q)
+
+    def expectation_interval(self, level: float = 0.95) -> ConfidenceInterval:
+        """Confidence interval for the expected value."""
+        return mean_confidence_interval(self.samples, level)
+
+    def quantile_interval(
+        self, q: float, level: float = 0.95
+    ) -> ConfidenceInterval:
+        """Order-statistic confidence interval for the ``q``-quantile."""
+        return quantile_confidence_interval(self.samples, q, level)
+
+    def probability_above(self, threshold: float) -> float:
+        """Estimated ``P(result > threshold)``."""
+        return float(np.mean(self.samples > threshold))
+
+    def probability_below(self, threshold: float) -> float:
+        """Estimated ``P(result < threshold)``."""
+        return float(np.mean(self.samples < threshold))
+
+    def histogram(self, bins: int = 20) -> "tuple[np.ndarray, np.ndarray]":
+        """Histogram (counts, bin_edges) of the samples."""
+        return np.histogram(self.samples, bins=bins)
+
+
+class MonteCarloDatabase:
+    """A database with stochastic tables (MCDB).
+
+    Examples
+    --------
+    See ``examples/quickstart.py`` for an end-to-end demonstration with the
+    paper's SBP_DATA blood-pressure model.
+    """
+
+    def __init__(self, db: Database, seed: int = 0) -> None:
+        self.db = db
+        self.seed = seed
+        self._specs: Dict[str, RandomTableSpec] = {}
+
+    def register_random_table(self, spec: RandomTableSpec) -> None:
+        """Register a stochastic table specification."""
+        if spec.name in self._specs:
+            raise SimulationError(
+                f"random table {spec.name!r} already registered"
+            )
+        if spec.name in self.db:
+            raise SimulationError(
+                f"{spec.name!r} already exists as a deterministic table"
+            )
+        self._specs[spec.name] = spec
+
+    @property
+    def random_table_names(self) -> List[str]:
+        """Names of all registered stochastic tables."""
+        return sorted(self._specs)
+
+    def _rng_for(self, iteration: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=self.seed, spawn_key=(iteration,)
+            )
+        )
+
+    # -- naive execution ----------------------------------------------------
+    def instantiate(self, rng: np.random.Generator) -> Database:
+        """Generate one database instance (all random tables realized).
+
+        Returns a database containing the deterministic tables (shared)
+        plus a fresh realization of every stochastic table.
+        """
+        instance = Database()
+        for name in self.db.table_names():
+            instance.register(self.db.table(name))
+        for spec in self._specs.values():
+            instance.register(spec.instantiate(self.db, rng))
+        return instance
+
+    def run_naive(
+        self,
+        query: Callable[[Database], float],
+        n_mc: int,
+    ) -> QueryDistribution:
+        """Execute ``query`` on ``n_mc`` fresh database instances.
+
+        ``query`` receives an instantiated database and returns a scalar;
+        the collected values are samples of the query-result distribution.
+        """
+        if n_mc < 1:
+            raise SimulationError("n_mc must be >= 1")
+        samples = np.empty(n_mc)
+        for i in range(n_mc):
+            instance = self.instantiate(self._rng_for(i))
+            samples[i] = float(query(instance))
+        return QueryDistribution(samples)
+
+    # -- bundled execution ---------------------------------------------------
+    def instantiate_bundles(self, n_mc: int) -> Dict[str, BundledTable]:
+        """Generate tuple bundles (all MC iterations at once) per table."""
+        if n_mc < 1:
+            raise SimulationError("n_mc must be >= 1")
+        bundles = {}
+        for name, spec in self._specs.items():
+            # Each random table draws from its own dedicated stream.
+            rng = np.random.default_rng(
+                np.random.SeedSequence(
+                    entropy=self.seed,
+                    spawn_key=(abs(hash(name)) % (2**31),),
+                )
+            )
+            bundles[name] = spec.instantiate_bundle(self.db, rng, n_mc)
+        return bundles
+
+    def run_bundled(
+        self,
+        query: Callable[[Dict[str, BundledTable], Database], np.ndarray],
+        n_mc: int,
+    ) -> QueryDistribution:
+        """Execute a bundle-aware ``query`` exactly once.
+
+        ``query`` receives the bundles plus the deterministic database and
+        returns an array of length ``n_mc`` (one query-result sample per
+        iteration).
+        """
+        bundles = self.instantiate_bundles(n_mc)
+        samples = np.asarray(query(bundles, self.db), dtype=float)
+        if samples.shape != (n_mc,):
+            raise SimulationError(
+                f"bundled query returned shape {samples.shape}, "
+                f"expected ({n_mc},)"
+            )
+        return QueryDistribution(samples)

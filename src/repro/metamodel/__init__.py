@@ -1,0 +1,45 @@
+"""Simulation metamodeling (Section 4 of the paper).
+
+Polynomial response surfaces (:mod:`repro.metamodel.polynomial`),
+main-effects and half-normal analysis for Figure 4
+(:mod:`repro.metamodel.effects`), Gaussian-process/kriging metamodels and
+stochastic kriging (:mod:`repro.metamodel.gp`), and factor screening via
+sequential bifurcation and GP correlation parameters
+(:mod:`repro.metamodel.screening`).
+"""
+
+from repro.metamodel.effects import (
+    MainEffect,
+    classify_active_effects,
+    half_normal_points,
+    main_effects_table,
+    render_main_effects_plot,
+)
+from repro.metamodel.gp import (
+    GaussianProcessMetamodel,
+    StochasticKrigingMetamodel,
+    gaussian_correlation,
+)
+from repro.metamodel.polynomial import PolynomialMetamodel
+from repro.metamodel.screening import (
+    ScreeningResult,
+    SequentialBifurcation,
+    gp_screening,
+    one_at_a_time_screening,
+)
+
+__all__ = [
+    "GaussianProcessMetamodel",
+    "MainEffect",
+    "PolynomialMetamodel",
+    "ScreeningResult",
+    "SequentialBifurcation",
+    "StochasticKrigingMetamodel",
+    "classify_active_effects",
+    "gaussian_correlation",
+    "gp_screening",
+    "half_normal_points",
+    "main_effects_table",
+    "one_at_a_time_screening",
+    "render_main_effects_plot",
+]

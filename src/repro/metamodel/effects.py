@@ -1,0 +1,104 @@
+"""Main-effect analysis and half-normal diagnostics (Figure 4).
+
+A main-effects plot (the paper's Figure 4) shows, per factor, the average
+simulation response over runs at the factor's low level and at its high
+level.  The half-normal ("Daniel") plot ranks absolute effect sizes
+against half-normal quantiles so that inert factors fall on a line
+through the origin and active factors stand out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DesignError
+
+
+@dataclass(frozen=True)
+class MainEffect:
+    """One factor's main-effect summary."""
+
+    factor: int
+    low_mean: float
+    high_mean: float
+
+    @property
+    def effect(self) -> float:
+        """The classical main effect: mean(high) - mean(low)."""
+        return self.high_mean - self.low_mean
+
+
+def main_effects_table(
+    design: np.ndarray, responses: Sequence[float]
+) -> List[MainEffect]:
+    """Compute the Figure 4 plot values from a ±1 design and responses."""
+    design = np.asarray(design, dtype=float)
+    y = np.asarray(responses, dtype=float)
+    if design.ndim != 2 or y.shape != (design.shape[0],):
+        raise DesignError("design/responses shape mismatch")
+    if not np.all(np.isin(design, (-1.0, 1.0))):
+        raise DesignError("main-effects analysis needs a ±1 coded design")
+    effects = []
+    for j in range(design.shape[1]):
+        high = design[:, j] > 0
+        if not high.any() or high.all():
+            raise DesignError(f"factor {j} never varies in the design")
+        effects.append(
+            MainEffect(
+                factor=j,
+                low_mean=float(y[~high].mean()),
+                high_mean=float(y[high].mean()),
+            )
+        )
+    return effects
+
+
+def half_normal_points(
+    effects: Sequence[float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Half-normal (Daniel) plot coordinates.
+
+    Returns ``(quantiles, sorted_absolute_effects)``: the i-th ordered
+    |effect| is plotted against the half-normal quantile
+    ``Phi^{-1}(0.5 + 0.5 (i - 0.5) / m)``.
+    """
+    from scipy.stats import norm
+
+    abs_effects = np.sort(np.abs(np.asarray(effects, dtype=float)))
+    m = abs_effects.size
+    if m == 0:
+        raise DesignError("need at least one effect")
+    ranks = (np.arange(1, m + 1) - 0.5) / m
+    quantiles = norm.ppf(0.5 + 0.5 * ranks)
+    return quantiles, abs_effects
+
+
+def classify_active_effects(
+    effects: Sequence[float], threshold_multiple: float = 2.5
+) -> List[int]:
+    """Indices of effects that stand out of the half-normal line.
+
+    A simple robust rule: an effect is active when its magnitude exceeds
+    ``threshold_multiple`` times the median absolute effect (the inert
+    effects estimate the noise scale).
+    """
+    arr = np.abs(np.asarray(effects, dtype=float))
+    scale = float(np.median(arr))
+    if scale == 0.0:
+        return [int(i) for i in np.flatnonzero(arr > 0)]
+    return [int(i) for i in np.flatnonzero(arr > threshold_multiple * scale)]
+
+
+def render_main_effects_plot(effects: Sequence[MainEffect]) -> str:
+    """An ASCII rendering of the Figure 4 main-effects plot."""
+    lines = ["factor |   low mean ->  high mean |  effect"]
+    lines.append("-" * 46)
+    for e in effects:
+        lines.append(
+            f"  x{e.factor + 1:<4} | {e.low_mean:10.3f} -> {e.high_mean:10.3f} "
+            f"| {e.effect:+8.3f}"
+        )
+    return "\n".join(lines)

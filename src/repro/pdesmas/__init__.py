@@ -1,0 +1,36 @@
+"""PDES-MAS: range queries in distributed agent simulations (Section 2.4).
+
+Shared state variables with histories (:mod:`repro.pdesmas.ssv`), the CLP
+tree with hop-counted access and SSV migration (:mod:`repro.pdesmas.clp`),
+agent logical processes at skewed clock rates (:mod:`repro.pdesmas.alp`),
+range-query algorithms (:mod:`repro.pdesmas.rangequery`) and end-to-end
+scenarios (:mod:`repro.pdesmas.simulation`).
+"""
+
+from repro.pdesmas.alp import ALP, SimAgent, make_alps
+from repro.pdesmas.clp import CLPNode, CLPTree
+from repro.pdesmas.rangequery import (
+    QueryResult,
+    RangeQuery,
+    range_query_latest,
+    range_query_timestamped,
+    result_discrepancy,
+)
+from repro.pdesmas.simulation import PdesMasScenario, ScenarioReport
+from repro.pdesmas.ssv import SSV
+
+__all__ = [
+    "ALP",
+    "CLPNode",
+    "CLPTree",
+    "PdesMasScenario",
+    "QueryResult",
+    "RangeQuery",
+    "SSV",
+    "ScenarioReport",
+    "SimAgent",
+    "make_alps",
+    "range_query_latest",
+    "range_query_timestamped",
+    "result_discrepancy",
+]

@@ -1,0 +1,27 @@
+"""SimSQL — database-valued Markov chains (Section 2.1 of the paper).
+
+Extends MCDB with versioned, recursively defined stochastic tables so the
+database itself evolves as a Markov chain ``D[0], D[1], ...``; chains run
+sequentially (:mod:`repro.simsql.markov`) or on the MapReduce substrate
+(:mod:`repro.simsql.mapreduce_exec`).
+"""
+
+from repro.simsql.mapreduce_exec import (
+    run_grouped_interaction_on_cluster,
+    run_transition_on_cluster,
+)
+from repro.simsql.markov import (
+    DatabaseMarkovChain,
+    TableTransition,
+    row_wise_transition,
+)
+from repro.simsql.versioning import VersionStore
+
+__all__ = [
+    "DatabaseMarkovChain",
+    "TableTransition",
+    "VersionStore",
+    "row_wise_transition",
+    "run_grouped_interaction_on_cluster",
+    "run_transition_on_cluster",
+]

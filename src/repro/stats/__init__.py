@@ -1,0 +1,97 @@
+"""Shared statistics substrate: RNG streams, distributions, estimators.
+
+This subpackage underpins every simulation component in the library. See
+:mod:`repro.stats.rng` for reproducible stream management,
+:mod:`repro.stats.distributions` for the sampling interface,
+:mod:`repro.stats.estimators` for Monte Carlo output analysis,
+:mod:`repro.stats.linalg` for the tridiagonal/spline machinery, and
+:mod:`repro.stats.timeseries` for the Figure 1 extrapolation toolkit.
+"""
+
+from repro.stats.distributions import (
+    Bernoulli,
+    Discrete,
+    Distribution,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Normal,
+    Poisson,
+    Uniform,
+)
+from repro.stats.estimators import (
+    ConfidenceInterval,
+    RunningStatistics,
+    batch_means,
+    covariance,
+    efficiency,
+    mean_confidence_interval,
+    quantile_confidence_interval,
+    sample_mean,
+    sample_quantile,
+    sample_variance,
+)
+from repro.stats.linalg import (
+    TridiagonalSystem,
+    least_squares_loss,
+    random_diagonally_dominant_system,
+    spline_system,
+    thomas_solve,
+)
+from repro.stats.rng import (
+    RandomStreamFactory,
+    antithetic_uniforms,
+    deterministic_cycle,
+    make_rng,
+    stratified_uniforms,
+)
+from repro.stats.timeseries import (
+    ExtrapolationReport,
+    TrendModel,
+    autocorrelation,
+    extrapolate_and_score,
+    fit_ar1,
+    fit_polynomial_trend,
+    forecast_ar1,
+    synthetic_housing_prices,
+)
+
+__all__ = [
+    "Bernoulli",
+    "ConfidenceInterval",
+    "Discrete",
+    "Distribution",
+    "Empirical",
+    "Exponential",
+    "ExtrapolationReport",
+    "LogNormal",
+    "Normal",
+    "Poisson",
+    "RandomStreamFactory",
+    "RunningStatistics",
+    "TrendModel",
+    "TridiagonalSystem",
+    "Uniform",
+    "antithetic_uniforms",
+    "autocorrelation",
+    "batch_means",
+    "covariance",
+    "deterministic_cycle",
+    "efficiency",
+    "extrapolate_and_score",
+    "fit_ar1",
+    "fit_polynomial_trend",
+    "forecast_ar1",
+    "least_squares_loss",
+    "make_rng",
+    "mean_confidence_interval",
+    "quantile_confidence_interval",
+    "random_diagonally_dominant_system",
+    "sample_mean",
+    "sample_quantile",
+    "sample_variance",
+    "spline_system",
+    "stratified_uniforms",
+    "synthetic_housing_prices",
+    "thomas_solve",
+]

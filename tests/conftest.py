@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Database, Schema
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A reproducible numpy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def people_db() -> Database:
+    """A small demographic database used across engine/mcdb tests."""
+    db = Database()
+    db.create_table(
+        "person", Schema.of(pid=int, age=int, region=str, income=float)
+    )
+    regions = ["east", "west"]
+    for i in range(20):
+        db.table("person").insert(
+            {
+                "pid": i,
+                "age": (i * 7) % 80,
+                "region": regions[i % 2],
+                "income": 20000.0 + 1000.0 * i,
+            }
+        )
+    return db

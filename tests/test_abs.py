@@ -1,0 +1,265 @@
+"""Tests for the agent-based simulation subpackage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abs import (
+    Agent,
+    AgentModel,
+    SchellingModel,
+    SelfJoinStats,
+    Simulation,
+    TrafficModel,
+    averaging_update,
+    full_selfjoin_step,
+    fundamental_diagram,
+    grid_selfjoin_step,
+    neighbor_sets,
+    random_spatial_agents,
+)
+from repro.errors import SimulationError
+from repro.stats import make_rng
+
+
+class CountingModel(AgentModel):
+    """Trivial model: each agent increments a counter each tick."""
+
+    def create_agents(self, rng):
+        return [Agent(i, {"count": 0}) for i in range(5)]
+
+    def step(self, agents, rng, tick):
+        for agent in agents:
+            agent["count"] += 1
+
+
+class TestKernel:
+    def test_run_collects_metrics(self, rng):
+        sim = Simulation(
+            CountingModel(),
+            metrics={"total": lambda agents: sum(a["count"] for a in agents)},
+        )
+        result = sim.run(3, rng)
+        assert list(result.metric_array("total")) == [0.0, 5.0, 10.0, 15.0]
+
+    def test_snapshots_recorded(self, rng):
+        sim = Simulation(CountingModel(), record_snapshots=True)
+        result = sim.run(2, rng)
+        assert result.ticks == 3
+        assert result.snapshots[2][0]["count"] == 2
+
+    def test_unknown_metric(self, rng):
+        result = Simulation(CountingModel()).run(1, rng)
+        with pytest.raises(SimulationError):
+            result.metric_array("nope")
+
+    def test_agent_dict_interface(self):
+        a = Agent(1, {"x": 2})
+        a["y"] = 3
+        assert a["x"] == 2
+        assert a.snapshot() == {"agent_id": 1, "x": 2, "y": 3}
+
+    def test_negative_ticks(self, rng):
+        with pytest.raises(SimulationError):
+            Simulation(CountingModel()).run(-1, rng)
+
+
+class TestSelfJoin:
+    def test_full_and_grid_neighbor_parity(self):
+        agents = random_spatial_agents(150, 10.0, make_rng(1))
+        assert neighbor_sets(agents, 1.2, "full") == neighbor_sets(
+            agents, 1.2, "grid"
+        )
+
+    def test_parity_with_larger_cells(self):
+        agents = random_spatial_agents(100, 8.0, make_rng(2))
+
+        def capture_sets(step_fn, **kwargs):
+            sets = []
+            by_id = {id(a): i for i, a in enumerate(agents)}
+            step_fn(
+                agents,
+                1.0,
+                lambda a, ns: (sets.append(sorted(by_id[id(n)] for n in ns)), a)[1],
+                **kwargs,
+            )
+            return sets
+
+        full = capture_sets(full_selfjoin_step)
+        grid2 = capture_sets(grid_selfjoin_step, cell_size=2.5)
+        assert full == grid2
+
+    def test_grid_examines_fewer_pairs(self):
+        agents = random_spatial_agents(300, 20.0, make_rng(3))
+        full_stats = SelfJoinStats()
+        grid_stats = SelfJoinStats()
+        identity = lambda a, ns: a
+        full_selfjoin_step(agents, 1.0, identity, full_stats)
+        grid_selfjoin_step(agents, 1.0, identity, grid_stats)
+        assert grid_stats.pairs_examined < full_stats.pairs_examined / 10
+        assert grid_stats.pairs_matched == full_stats.pairs_matched
+
+    def test_cell_size_below_radius_rejected(self):
+        agents = random_spatial_agents(10, 5.0, make_rng(4))
+        with pytest.raises(SimulationError):
+            grid_selfjoin_step(agents, 1.0, lambda a, ns: a, cell_size=0.5)
+
+    def test_averaging_update_contracts(self):
+        agents = [
+            {"agent_id": 0, "x": 0.0, "y": 0.0, "v": 0.0},
+            {"agent_id": 1, "x": 0.1, "y": 0.0, "v": 10.0},
+        ]
+        out = full_selfjoin_step(agents, 1.0, averaging_update("v"))
+        assert out[0]["v"] == pytest.approx(5.0)
+        assert out[1]["v"] == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            full_selfjoin_step([], 1.0, lambda a, ns: a)
+        with pytest.raises(SimulationError):
+            full_selfjoin_step([{"x": 0.0, "y": 0.0}], -1.0, lambda a, ns: a)
+        with pytest.raises(SimulationError):
+            full_selfjoin_step([{"z": 0.0}], 1.0, lambda a, ns: a)
+
+    @given(
+        n=st.integers(5, 60),
+        radius=st.floats(0.3, 3.0),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_parity_property(self, n, radius, seed):
+        agents = random_spatial_agents(n, 10.0, make_rng(seed))
+        assert neighbor_sets(agents, radius, "full") == neighbor_sets(
+            agents, radius, "grid"
+        )
+
+
+class TestTraffic:
+    def test_car_count_conserved(self):
+        model = TrafficModel(length=100, density=0.2)
+        rng = make_rng(0)
+        state = model.initial_state(rng)
+        n0 = state.num_cars
+        for _ in range(20):
+            state = model.step(state, rng)
+            assert state.num_cars == n0
+
+    def test_two_lane_conserves_cars(self):
+        model = TrafficModel(length=80, density=0.25, num_lanes=2)
+        rng = make_rng(1)
+        state = model.initial_state(rng)
+        n0 = state.num_cars
+        for _ in range(20):
+            state = model.step(state, rng)
+            assert state.num_cars == n0
+
+    def test_free_flow_at_low_density(self):
+        run = TrafficModel(length=200, density=0.03, p_dawdle=0.1).run(
+            150, make_rng(2), warmup=50
+        )
+        assert run.average_speed > 3.5
+        assert run.jam_fraction < 0.05
+
+    def test_jams_emerge_at_high_density(self):
+        low = TrafficModel(length=200, density=0.05).run(
+            150, make_rng(3), warmup=50
+        )
+        high = TrafficModel(length=200, density=0.4).run(
+            150, make_rng(4), warmup=50
+        )
+        assert high.jam_fraction > low.jam_fraction + 0.1
+        assert high.average_speed < low.average_speed
+
+    def test_fundamental_diagram_peak_interior(self):
+        densities = np.array([0.05, 0.15, 0.3, 0.5, 0.7])
+        rows = fundamental_diagram(densities, ticks=150, warmup=50, length=120)
+        flows = [flow for _, flow, _ in rows]
+        # Flow peaks at an interior density and falls at high density.
+        peak = int(np.argmax(flows))
+        assert 0 < peak < len(flows) - 1 or flows[0] < max(flows)
+        assert flows[-1] < max(flows)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TrafficModel(density=0.0)
+        with pytest.raises(SimulationError):
+            TrafficModel(num_lanes=3)
+        with pytest.raises(SimulationError):
+            TrafficModel(length=1)
+
+
+class TestSchelling:
+    def test_segregation_increases(self):
+        result = SchellingModel(size=25, tolerance=0.4).run(80, make_rng(5))
+        assert result.final_segregation > result.segregation_series[0] + 0.1
+
+    def test_converged_run_has_no_unhappy(self):
+        result = SchellingModel(size=20, tolerance=0.3).run(200, make_rng(6))
+        if result.converged:
+            assert result.unhappy_series[-1] == 0
+
+    def test_zero_tolerance_converges_immediately(self):
+        result = SchellingModel(size=15, tolerance=0.0).run(10, make_rng(7))
+        assert result.converged
+        assert result.ticks_run == 1
+
+    def test_agent_count_conserved(self):
+        model = SchellingModel(size=20)
+        rng = make_rng(8)
+        grid = model.initial_grid(rng)
+        counts = [(grid == t).sum() for t in (1, 2)]
+        model.step(grid, rng)
+        assert [(grid == t).sum() for t in (1, 2)] == counts
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SchellingModel(size=2)
+        with pytest.raises(SimulationError):
+            SchellingModel(occupancy=1.0)
+
+
+class PhasedModel(AgentModel):
+    """A model using the default sense->think->respond decomposition."""
+
+    def create_agents(self, rng):
+        return [Agent(i, {"x": float(i), "target": 0.0}) for i in range(4)]
+
+    def sense(self, agent, agents, tick):
+        # Perceive the population mean position.
+        return sum(a["x"] for a in agents) / len(agents)
+
+    def think(self, agent, perception, rng):
+        # Intend to move halfway toward the mean.
+        return (agent["x"] + perception) / 2.0
+
+    def respond(self, agent, intention):
+        agent["x"] = intention
+
+
+class TestSenseThinkRespond:
+    def test_phases_applied_synchronously(self, rng):
+        """All agents sense the *same* pre-step state (no drift bias)."""
+        sim = Simulation(
+            PhasedModel(),
+            metrics={"spread": lambda agents: max(a["x"] for a in agents)
+                     - min(a["x"] for a in agents)},
+        )
+        result = sim.run(5, rng)
+        spreads = result.metric_array("spread")
+        # Agents contract toward the (invariant) mean: spread halves
+        # every tick because perception is synchronous.
+        assert spreads[1] == pytest.approx(spreads[0] / 2.0)
+        assert spreads[-1] < spreads[0] * 0.1
+
+    def test_mean_is_invariant(self, rng):
+        sim = Simulation(
+            PhasedModel(),
+            metrics={"mean": lambda agents: sum(a["x"] for a in agents)
+                     / len(agents)},
+        )
+        result = sim.run(4, rng)
+        means = result.metric_array("mean")
+        np.testing.assert_allclose(means, means[0])

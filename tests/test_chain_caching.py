@@ -1,0 +1,202 @@
+"""Tests for the k-stage result-caching extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.composite import (
+    CallableModel,
+    ChainStatistics,
+    CompositeStatistics,
+    estimate_chain_statistics,
+    g_approx,
+    g_chain_approx,
+    optimize_chain_alphas,
+    run_chain_with_caching,
+)
+from repro.errors import SimulationError
+from repro.stats import make_rng
+
+
+def noisy_stage(name, cost, carry=1.0, noise=1.0):
+    """A stage adding Gaussian noise to its (scaled) input."""
+    return CallableModel(
+        name,
+        lambda x, rng: carry * (x or 0.0) + noise * float(rng.normal()),
+        cost=cost,
+    )
+
+
+class TestChainStatistics:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ChainStatistics(costs=(1.0,), variance_ladder=(1.0,))
+        with pytest.raises(SimulationError):
+            ChainStatistics(costs=(1.0, -1.0), variance_ladder=(0.5, 1.0))
+        with pytest.raises(SimulationError):
+            # Decreasing ladder violates the law of total variance.
+            ChainStatistics(costs=(1.0, 1.0), variance_ladder=(2.0, 1.0))
+
+    def test_two_stage_reduces_to_paper_formula(self):
+        """g_chain_approx on k=2 must equal the paper's g~(alpha)."""
+        chain = ChainStatistics(
+            costs=(5.0, 0.5), variance_ladder=(5.0, 8.0)
+        )
+        pair = CompositeStatistics(c1=5.0, c2=0.5, v1=8.0, v2=5.0)
+        for alpha in (0.05, 0.2, 0.5, 1.0):
+            assert g_chain_approx([alpha], chain) == pytest.approx(
+                g_approx(alpha, pair)
+            )
+
+    def test_alpha_arity(self):
+        chain = ChainStatistics(
+            costs=(1.0, 1.0, 1.0), variance_ladder=(1.0, 2.0, 3.0)
+        )
+        with pytest.raises(SimulationError):
+            g_chain_approx([0.5], chain)
+        with pytest.raises(SimulationError):
+            g_chain_approx([0.5, 0.0], chain)
+
+
+class TestOptimization:
+    def test_two_stage_matches_closed_form(self):
+        from repro.composite import optimal_alpha
+
+        chain = ChainStatistics(
+            costs=(5.0, 0.5), variance_ladder=(5.0, 8.0)
+        )
+        pair = CompositeStatistics(c1=5.0, c2=0.5, v1=8.0, v2=5.0)
+        alphas, value = optimize_chain_alphas(chain, grid_points=200)
+        assert alphas[0] == pytest.approx(optimal_alpha(pair), abs=0.02)
+
+    def test_expensive_upstream_gets_small_alpha(self):
+        chain = ChainStatistics(
+            costs=(50.0, 1.0, 0.5),
+            variance_ladder=(0.5, 2.0, 8.0),
+        )
+        alphas, _ = optimize_chain_alphas(chain)
+        # The very expensive, low-variance-share first stage should be
+        # rerun rarely; the cheaper middle stage more often.
+        assert alphas[0] < alphas[1]
+
+    def test_transformer_stage_alpha_one(self):
+        # Final stage deterministic given input: ladder flat at the top.
+        chain = ChainStatistics(
+            costs=(1.0, 1.0), variance_ladder=(4.0, 4.0)
+        )
+        alphas, _ = optimize_chain_alphas(chain, grid_points=100)
+        assert alphas[0] == pytest.approx(1.0, abs=0.02)
+
+    def test_optimum_beats_extremes(self):
+        chain = ChainStatistics(
+            costs=(10.0, 2.0, 0.2),
+            variance_ladder=(2.0, 5.0, 9.0),
+        )
+        alphas, best = optimize_chain_alphas(chain)
+        assert best <= g_chain_approx([1.0, 1.0], chain) + 1e-12
+        assert best <= g_chain_approx([0.01, 0.01], chain) + 1e-12
+
+
+class TestExecution:
+    def _chain(self):
+        return [
+            noisy_stage("a", cost=5.0, noise=2.0),
+            noisy_stage("b", cost=1.0, carry=1.0, noise=1.0),
+            noisy_stage("c", cost=0.2, carry=1.0, noise=0.5),
+        ]
+
+    def test_run_counts(self):
+        models = self._chain()
+        result = run_chain_with_caching(
+            models, n=100, alphas=[0.1, 0.5], rng=make_rng(0)
+        )
+        assert result.runs_per_stage == (5, 50, 100)
+        assert result.total_cost == pytest.approx(
+            5 * 5.0 + 50 * 1.0 + 100 * 0.2
+        )
+
+    def test_estimator_roughly_unbiased(self):
+        models = self._chain()
+        estimates = [
+            run_chain_with_caching(
+                models, n=200, alphas=[0.2, 0.5], rng=make_rng(seed)
+            ).estimate
+            for seed in range(30)
+        ]
+        # Sum of zero-mean noises -> theta = 0.
+        assert abs(np.mean(estimates)) < 0.3
+
+    def test_alpha_one_means_no_caching(self):
+        models = self._chain()
+        result = run_chain_with_caching(
+            models, n=50, alphas=[1.0, 1.0], rng=make_rng(1)
+        )
+        assert result.runs_per_stage == (50, 50, 50)
+
+    def test_validation(self):
+        models = self._chain()
+        with pytest.raises(SimulationError):
+            run_chain_with_caching(models[:1], 10, [], make_rng(0))
+        with pytest.raises(SimulationError):
+            run_chain_with_caching(models, 10, [0.5], make_rng(0))
+        with pytest.raises(SimulationError):
+            run_chain_with_caching(models, 10, [0.0, 0.5], make_rng(0))
+
+
+class TestStatisticsEstimation:
+    def test_ladder_monotone_and_total_matches(self):
+        models = [
+            noisy_stage("a", cost=2.0, noise=2.0),
+            noisy_stage("b", cost=1.0, noise=1.0),
+            noisy_stage("c", cost=0.5, noise=0.5),
+        ]
+        stats = estimate_chain_statistics(
+            models, make_rng(2), branching=4, roots=60
+        )
+        ladder = stats.variance_ladder
+        assert ladder[0] <= ladder[1] <= ladder[2]
+        # Total variance = 4 + 1 + 0.25 = 5.25.
+        assert ladder[2] == pytest.approx(5.25, rel=0.5)
+        # First layer = 4.
+        assert ladder[0] == pytest.approx(4.0, rel=0.5)
+
+    def test_costs_copied_from_models(self):
+        models = [
+            noisy_stage("a", cost=3.0),
+            noisy_stage("b", cost=0.7),
+        ]
+        stats = estimate_chain_statistics(
+            models, make_rng(3), branching=3, roots=20
+        )
+        assert stats.costs == (3.0, 0.7)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            estimate_chain_statistics(
+                [noisy_stage("a", 1.0)], make_rng(0)
+            )
+
+    def test_empirical_variance_reduction_at_optimum(self):
+        """End-to-end: optimized alphas beat no caching per unit cost."""
+        models = [
+            noisy_stage("a", cost=20.0, noise=1.0),
+            noisy_stage("b", cost=0.5, noise=2.0),
+        ]
+        stats = estimate_chain_statistics(
+            models, make_rng(4), branching=4, roots=60
+        )
+        alphas, _ = optimize_chain_alphas(stats)
+
+        def efficiency(alpha_vec, replications=60):
+            estimates = []
+            cost = None
+            for seed in range(replications):
+                result = run_chain_with_caching(
+                    models, n=80, alphas=alpha_vec, rng=make_rng(100 + seed)
+                )
+                estimates.append(result.estimate)
+                cost = result.total_cost
+            return float(np.var(estimates, ddof=1)) * cost
+
+        assert efficiency(alphas) < efficiency([1.0])

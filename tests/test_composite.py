@@ -1,0 +1,269 @@
+"""Tests for composite models and result caching (Section 2.3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.composite import (
+    ArrivalProcessModel,
+    CallableModel,
+    CompositePipeline,
+    CompositeStatistics,
+    MetadataRegistry,
+    ModelMetadata,
+    QueueModel,
+    budget_constrained_run,
+    estimate_statistics,
+    g_approx,
+    g_exact,
+    optimal_alpha,
+    replication_counts,
+    run_with_caching,
+)
+from repro.errors import SimulationError
+from repro.stats import make_rng
+
+
+@pytest.fixture
+def demand_queue():
+    return ArrivalProcessModel(cost=5.0), QueueModel(cost=0.5)
+
+
+class TestModels:
+    def test_arrival_process_monotone(self, rng):
+        arrivals = ArrivalProcessModel(num_customers=50).run(None, rng)
+        assert arrivals.shape == (50,)
+        assert np.all(np.diff(arrivals) > 0)
+
+    def test_queue_nonnegative_wait(self, rng):
+        m1 = ArrivalProcessModel()
+        m2 = QueueModel()
+        wait = m2.run(m1.run(None, rng), rng)
+        assert wait >= 0.0
+
+    def test_deterministic_queue_reproducible(self, rng):
+        m2 = QueueModel(service_noise=False)
+        arrivals = np.arange(1.0, 11.0)
+        assert m2.run(arrivals, rng) == m2.run(arrivals, rng)
+        assert m2.deterministic
+
+    def test_run_count_tracked(self, rng):
+        m1 = ArrivalProcessModel()
+        m1.run(None, rng)
+        m1.run(None, rng)
+        assert m1.run_count == 2
+
+    def test_callable_model(self, rng):
+        m = CallableModel("c", lambda x, r: (x or 0) + 1, cost=2.0)
+        assert m.run(4, rng) == 5
+        assert m.cost == 2.0
+
+    def test_cost_validation(self):
+        with pytest.raises(SimulationError):
+            CallableModel("c", lambda x, r: x, cost=0.0)
+
+
+class TestPipeline:
+    def test_series_execution(self, rng):
+        pipeline = CompositePipeline(
+            [
+                CallableModel("a", lambda x, r: 3.0),
+                CallableModel("b", lambda x, r: x * 2.0),
+            ]
+        )
+        assert pipeline.run_once(rng) == 6.0
+        assert pipeline.total_cost == 2.0
+
+    def test_transform_between_stages(self, rng):
+        pipeline = CompositePipeline(
+            [
+                CallableModel("a", lambda x, r: 3.0),
+                CallableModel("b", lambda x, r: x + 1.0),
+            ],
+            transforms=[lambda y: y * 10.0],
+        )
+        assert pipeline.run_once(rng) == 31.0
+
+    def test_trace_records(self, rng):
+        pipeline = CompositePipeline(
+            [CallableModel("a", lambda x, r: 1.0, cost=7.0)]
+        )
+        records = pipeline.run_once(rng, trace=True)
+        assert records[0].model_name == "a"
+        assert records[0].cost == 7.0
+
+    def test_monte_carlo_reproducible(self):
+        pipeline = CompositePipeline(
+            [CallableModel("a", lambda x, r: float(r.normal()))]
+        )
+        a = pipeline.monte_carlo(10, seed=3)
+        b = pipeline.monte_carlo(10, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CompositePipeline([])
+        m = CallableModel("a", lambda x, r: x)
+        with pytest.raises(SimulationError):
+            CompositePipeline([m, m])
+
+
+class TestAnalyticFormulas:
+    def _stats(self):
+        return CompositeStatistics(c1=5.0, c2=0.5, v1=8.0, v2=5.0)
+
+    def test_replication_counts(self):
+        assert replication_counts(100, 0.1) == 10
+        assert replication_counts(100, 1.0) == 100
+        assert replication_counts(3, 0.01) == 1
+        with pytest.raises(SimulationError):
+            replication_counts(10, 0.0)
+
+    def test_g_exact_alpha_one(self):
+        # alpha = 1: r = 1, bracket = 2 - 2 = 0 -> g = (c1 + c2) V1.
+        stats = self._stats()
+        assert g_exact(1.0, stats) == pytest.approx(
+            (stats.c1 + stats.c2) * stats.v1
+        )
+
+    def test_g_approx_matches_exact_at_inverse_integers(self):
+        # When 1/alpha is an integer, r_alpha = 1/alpha exactly.
+        stats = self._stats()
+        for alpha in (1.0, 0.5, 0.25, 0.2):
+            assert g_approx(alpha, stats) == pytest.approx(
+                g_exact(alpha, stats)
+            )
+
+    def test_optimal_alpha_formula(self):
+        stats = self._stats()
+        expected = math.sqrt((0.5 / 5.0) / (8.0 / 5.0 - 1.0))
+        assert optimal_alpha(stats) == pytest.approx(expected)
+
+    def test_optimal_alpha_degenerate_cases(self):
+        # V2 = 0: M1 effectively deterministic downstream -> run it once.
+        no_cov = CompositeStatistics(5.0, 0.5, 4.0, 0.0)
+        assert optimal_alpha(no_cov, n=100) == pytest.approx(0.01)
+        # V1 = V2: M2 is a transformer -> fresh M1 every time.
+        transformer = CompositeStatistics(5.0, 0.5, 4.0, 4.0)
+        assert optimal_alpha(transformer) == 1.0
+
+    def test_optimal_alpha_minimizes_g_approx(self):
+        stats = self._stats()
+        astar = optimal_alpha(stats)
+        grid = np.linspace(0.01, 1.0, 200)
+        values = [g_approx(a, stats) for a in grid]
+        assert g_approx(astar, stats) <= min(values) + 1e-9
+
+    def test_statistics_validation(self):
+        with pytest.raises(SimulationError):
+            CompositeStatistics(c1=0.0, c2=1.0, v1=1.0, v2=0.5)
+        with pytest.raises(SimulationError):
+            CompositeStatistics(c1=1.0, c2=1.0, v1=1.0, v2=2.0)
+
+    @given(
+        c1=st.floats(0.5, 50.0),
+        c2=st.floats(0.1, 10.0),
+        v1=st.floats(1.0, 20.0),
+        ratio=st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gexact_positive_and_alpha_feasible(self, c1, c2, v1, ratio):
+        stats = CompositeStatistics(c1=c1, c2=c2, v1=v1, v2=v1 * ratio)
+        astar = optimal_alpha(stats)
+        assert 0.0 < astar <= 1.0
+        assert g_exact(astar, stats) > 0.0
+
+
+class TestCachingExecution:
+    def test_estimator_unbiased(self, demand_queue):
+        m1, m2 = demand_queue
+        rng = make_rng(0)
+        full = run_with_caching(m1, m2, n=400, alpha=1.0, rng=rng)
+        cached = run_with_caching(m1, m2, n=400, alpha=0.2, rng=make_rng(1))
+        # Both estimate the same theta; they should agree loosely.
+        assert cached.estimate == pytest.approx(full.estimate, rel=0.4)
+
+    def test_m1_run_savings(self, demand_queue):
+        m1, m2 = demand_queue
+        result = run_with_caching(m1, m2, n=100, alpha=0.1, rng=make_rng(2))
+        assert result.m1_runs == 10
+        assert result.m2_runs == 100
+        assert result.total_cost == pytest.approx(10 * 5.0 + 100 * 0.5)
+
+    def test_budget_constrained_n(self, demand_queue):
+        m1, m2 = demand_queue
+        result = budget_constrained_run(
+            m1, m2, budget=100.0, alpha=1.0, rng=make_rng(3)
+        )
+        # With alpha=1 each output costs 5.5 -> N(100) = 18.
+        assert result.m2_runs == 18
+
+    def test_budget_too_small(self, demand_queue):
+        m1, m2 = demand_queue
+        with pytest.raises(SimulationError):
+            budget_constrained_run(m1, m2, budget=1.0, alpha=1.0, rng=make_rng(4))
+
+    def test_estimate_statistics_sane(self, demand_queue):
+        m1, m2 = demand_queue
+        stats = estimate_statistics(
+            m1, m2, make_rng(5), pilot_m1_runs=60, m2_runs_per_m1=4
+        )
+        assert stats.c1 == 5.0
+        assert stats.v1 > 0
+        assert 0 <= stats.v2 <= stats.v1
+
+    def test_optimal_alpha_beats_extremes(self, demand_queue):
+        """The headline result: alpha* yields lower g than alpha=1."""
+        from repro.composite import measure_estimator_variance
+
+        m1, m2 = demand_queue
+        stats = estimate_statistics(
+            m1, m2, make_rng(6), pilot_m1_runs=100, m2_runs_per_m1=5
+        )
+        astar = optimal_alpha(stats)
+        assert 0.0 < astar < 1.0
+        _, g_star = measure_estimator_variance(
+            m1, m2, budget=600.0, alpha=astar, replications=60, seed=7
+        )
+        _, g_tiny = measure_estimator_variance(
+            m1, m2, budget=600.0, alpha=0.02, replications=60, seed=8
+        )
+        assert g_star < g_tiny
+
+
+class TestMetadata:
+    def test_register_and_refine(self):
+        registry = MetadataRegistry()
+        registry.register(ModelMetadata("demand", declared_cost=5.0))
+        registry.register(ModelMetadata("queue", declared_cost=0.5))
+        meta = registry.get("demand")
+        assert meta.best_cost_estimate == 5.0
+        meta.record_run(6.0)
+        meta.record_run(8.0)
+        assert meta.best_cost_estimate == 7.0
+
+    def test_pair_statistics_cache_and_refresh(self):
+        registry = MetadataRegistry()
+        registry.register(ModelMetadata("demand", declared_cost=5.0))
+        registry.register(ModelMetadata("queue", declared_cost=0.5))
+        stats = CompositeStatistics(5.0, 0.5, 8.0, 5.0)
+        registry.store_pair_statistics("demand", "queue", stats)
+        registry.get("demand").record_run(10.0)
+        refreshed = registry.refresh_pair_costs("demand", "queue")
+        assert refreshed.c1 == 10.0
+        assert refreshed.v1 == 8.0
+
+    def test_duplicate_and_missing(self):
+        registry = MetadataRegistry()
+        registry.register(ModelMetadata("a"))
+        with pytest.raises(SimulationError):
+            registry.register(ModelMetadata("a"))
+        with pytest.raises(SimulationError):
+            registry.get("zz")
+        with pytest.raises(SimulationError):
+            ModelMetadata("x").best_cost_estimate

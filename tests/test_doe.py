@@ -1,0 +1,156 @@
+"""Tests for experimental designs (Figures 3 and 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.doe import (
+    centered_levels,
+    confounded_pairs,
+    figure5_design,
+    fold_over,
+    fractional_factorial,
+    full_factorial,
+    is_latin,
+    is_orthogonal,
+    max_abs_correlation,
+    maximin_distance,
+    nearly_orthogonal_lh,
+    randomized_lh,
+    resolution_iii,
+    resolution_iv,
+    resolution_v,
+    scale_design,
+)
+from repro.errors import DesignError
+from repro.stats import make_rng
+
+PAPER_FIGURE3 = np.array(
+    [
+        [-1, -1, -1, 1, 1, 1, -1],
+        [1, -1, -1, -1, -1, 1, 1],
+        [-1, 1, -1, -1, 1, -1, 1],
+        [1, 1, -1, 1, -1, -1, -1],
+        [-1, -1, 1, 1, -1, -1, 1],
+        [1, -1, 1, -1, 1, -1, -1],
+        [-1, 1, 1, -1, -1, 1, -1],
+        [1, 1, 1, 1, 1, 1, 1],
+    ],
+    dtype=float,
+)
+
+
+class TestFactorial:
+    def test_full_factorial_shape_and_levels(self):
+        design = full_factorial(4)
+        assert design.shape == (16, 4)
+        assert set(np.unique(design)) == {-1.0, 1.0}
+        # All rows distinct.
+        assert len({tuple(r) for r in design}) == 16
+
+    def test_resolution_iii_reproduces_figure3(self):
+        """The headline FIG3 check: exact match with the paper's table."""
+        np.testing.assert_array_equal(resolution_iii(7), PAPER_FIGURE3)
+
+    def test_resolution_iii_orthogonal(self):
+        for k in (3, 5, 7, 12, 15):
+            assert is_orthogonal(resolution_iii(k))
+
+    def test_run_counts_match_paper(self):
+        assert resolution_iii(7).shape[0] == 8
+        assert resolution_iv(7).shape[0] == 16
+        assert resolution_v(7).shape[0] == 32
+
+    def test_resolution_iii_has_aliasing(self):
+        assert len(confounded_pairs(resolution_iii(7))) > 0
+
+    def test_resolution_iv_clears_two_factor_aliasing(self):
+        assert confounded_pairs(resolution_iv(7)) == []
+
+    def test_resolution_v_clears_two_factor_aliasing(self):
+        assert confounded_pairs(resolution_v(7)) == []
+
+    def test_fold_over_doubles_runs(self):
+        base = resolution_iii(5)
+        folded = fold_over(base)
+        assert folded.shape[0] == 2 * base.shape[0]
+        np.testing.assert_array_equal(folded[: base.shape[0]], base)
+        np.testing.assert_array_equal(folded[base.shape[0]:], -base)
+
+    def test_fractional_factorial_generator_validation(self):
+        with pytest.raises(DesignError):
+            fractional_factorial(3, [(5,)])
+        with pytest.raises(DesignError):
+            fractional_factorial(3, [()])
+
+    def test_resolution_v_small_is_full(self):
+        assert resolution_v(3).shape == (8, 3)
+
+    def test_resolution_v_unsupported(self):
+        with pytest.raises(DesignError):
+            resolution_v(20)
+
+
+class TestLatinHypercube:
+    def test_centered_levels(self):
+        np.testing.assert_array_equal(
+            centered_levels(9), np.arange(-4.0, 5.0)
+        )
+
+    def test_randomized_lh_is_latin(self):
+        design = randomized_lh(3, 17, make_rng(0))
+        assert design.shape == (17, 3)
+        assert is_latin(design)
+
+    def test_figure5_design_properties(self):
+        """FIG5: 2 factors, 9 runs, levels -4..4, orthogonal columns."""
+        design = figure5_design()
+        assert design.shape == (9, 2)
+        assert is_latin(design)
+        assert max_abs_correlation(design) == 0.0
+        np.testing.assert_array_equal(
+            np.sort(design[:, 0]), np.arange(-4.0, 5.0)
+        )
+
+    def test_nolh_improves_orthogonality(self):
+        rng = make_rng(1)
+        random_design = randomized_lh(6, 17, make_rng(2))
+        nolh = nearly_orthogonal_lh(6, 17, rng, iterations=1200)
+        assert is_latin(nolh)
+        assert max_abs_correlation(nolh) < 0.1
+        assert max_abs_correlation(nolh) <= max_abs_correlation(random_design)
+
+    def test_scale_design(self):
+        design = figure5_design()
+        scaled = scale_design(
+            design, lows=np.array([0.0, 10.0]), highs=np.array([1.0, 20.0])
+        )
+        assert scaled[:, 0].min() == pytest.approx(0.0)
+        assert scaled[:, 0].max() == pytest.approx(1.0)
+        assert scaled[:, 1].min() == pytest.approx(10.0)
+        assert scaled[:, 1].max() == pytest.approx(20.0)
+
+    def test_scale_design_validation(self):
+        design = figure5_design()
+        with pytest.raises(DesignError):
+            scale_design(design, np.array([0.0]), np.array([1.0]))
+        with pytest.raises(DesignError):
+            scale_design(
+                design, np.array([1.0, 0.0]), np.array([0.0, 1.0])
+            )
+
+    def test_maximin_distance_positive(self):
+        assert maximin_distance(figure5_design()) > 0
+
+    @given(
+        factors=st.integers(2, 5),
+        runs=st.integers(5, 21),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_randomized_lh_always_latin(self, factors, runs, seed):
+        design = randomized_lh(factors, runs, make_rng(seed))
+        assert is_latin(design)

@@ -1,0 +1,134 @@
+"""Tests for repro.engine.schema and repro.engine.table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Schema, Table, col, lit
+from repro.engine.schema import Column
+from repro.errors import SchemaError
+
+
+class TestSchema:
+    def test_of_constructor(self):
+        schema = Schema.of(pid=int, name=str, score=float)
+        assert schema.names == ("pid", "name", "score")
+        assert len(schema) == 3
+
+    def test_from_spec_with_type_names(self):
+        schema = Schema.from_spec({"a": "int", "b": "float"})
+        assert schema.column("a").dtype is int
+
+    def test_from_spec_unknown_type(self):
+        with pytest.raises(SchemaError):
+            Schema.from_spec({"a": "decimal"})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("x", int), Column("x", float)])
+
+    def test_validate_row_coerces(self):
+        schema = Schema.of(a=int, b=float)
+        row = schema.validate_row({"a": "3", "b": 2})
+        assert row == {"a": 3, "b": 2.0}
+        assert isinstance(row["b"], float)
+
+    def test_validate_row_missing_becomes_null(self):
+        schema = Schema.of(a=int, b=float)
+        assert schema.validate_row({"a": 1}) == {"a": 1, "b": None}
+
+    def test_validate_row_rejects_extras(self):
+        schema = Schema.of(a=int)
+        with pytest.raises(SchemaError):
+            schema.validate_row({"a": 1, "zz": 2})
+
+    def test_coerce_failure(self):
+        schema = Schema.of(a=int)
+        with pytest.raises(SchemaError):
+            schema.validate_row({"a": "not-a-number"})
+
+    def test_prefixed(self):
+        schema = Schema.of(a=int).prefixed("t")
+        assert schema.names == ("t.a",)
+
+    def test_rename_and_project(self):
+        schema = Schema.of(a=int, b=float)
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ("x", "b")
+        assert schema.project(["b"]).names == ("b",)
+
+    def test_bool_column_string_coercion(self):
+        schema = Schema.of(flag=bool)
+        assert schema.validate_row({"flag": "true"})["flag"] is True
+        assert schema.validate_row({"flag": "no"})["flag"] is False
+
+
+class TestTable:
+    def test_insert_and_len(self):
+        t = Table("t", Schema.of(x=int))
+        t.insert({"x": 1})
+        t.insert({"x": 2})
+        assert len(t) == 2
+
+    def test_from_rows_infers_schema(self):
+        t = Table.from_rows("t", [{"a": 1, "b": 2.5, "c": "s", "d": True}])
+        assert t.schema.column("a").dtype is int
+        assert t.schema.column("b").dtype is float
+        assert t.schema.column("c").dtype is str
+        assert t.schema.column("d").dtype is bool
+
+    def test_from_rows_empty_raises(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows("t", [])
+
+    def test_from_columns(self):
+        t = Table.from_columns("t", {"x": [1, 2, 3], "y": [4.0, 5.0, 6.0]})
+        assert len(t) == 3
+        assert t.column_values("x") == [1, 2, 3]
+
+    def test_from_columns_ragged(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns("t", {"x": [1], "y": [1, 2]})
+
+    def test_delete_where(self):
+        t = Table.from_columns("t", {"x": [1, 2, 3, 4]})
+        removed = t.delete_where(col("x") > 2)
+        assert removed == 2
+        assert t.column_values("x") == [1, 2]
+
+    def test_update_where(self):
+        t = Table.from_columns("t", {"x": [1, 2, 3]})
+        updated = t.update_where(col("x") >= 2, {"x": col("x") * 10})
+        assert updated == 2
+        assert t.column_values("x") == [1, 20, 30]
+
+    def test_update_unknown_column(self):
+        t = Table.from_columns("t", {"x": [1]})
+        with pytest.raises(SchemaError):
+            t.update_where(lit(True), {"zz": lit(0)})
+
+    def test_column_array_handles_none(self):
+        t = Table("t", Schema.of(x=float))
+        t.insert({"x": 1.0})
+        t.insert({"x": None})
+        arr = t.column_array("x")
+        assert arr[0] == 1.0
+        assert np.isnan(arr[1])
+
+    def test_copy_is_independent(self):
+        t = Table.from_columns("t", {"x": [1]})
+        clone = t.copy()
+        clone.rows[0]["x"] = 99
+        assert t.rows[0]["x"] == 1
+
+    def test_pretty_string_contains_header(self):
+        t = Table.from_columns("t", {"alpha": [1, 2]})
+        rendered = t.to_pretty_string()
+        assert "alpha" in rendered
+        assert "1" in rendered
+
+    def test_truncate(self):
+        t = Table.from_columns("t", {"x": [1, 2]})
+        t.truncate()
+        assert len(t) == 0

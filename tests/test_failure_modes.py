@@ -1,0 +1,156 @@
+"""Failure-injection tests: wrong usage must fail loudly and precisely.
+
+A library this size lives or dies by its error messages; these tests
+exercise the failure paths across subsystems — malformed inputs, broken
+user callbacks, and numerically degenerate situations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assimilation import (
+    LinearGaussianSSM,
+    WildfireModel,
+    WildfireParameters,
+    particle_filter,
+)
+from repro.engine import Database, Schema, col, lit
+from repro.errors import (
+    AlignmentError,
+    FilteringError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SimulationError,
+    VGFunctionError,
+)
+from repro.mapreduce import Cluster, MapReduceJob
+from repro.mcdb import MonteCarloDatabase, NormalVG, RandomTableSpec
+from repro.stats import make_rng
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            AlignmentError,
+            FilteringError,
+            QueryError,
+            SchemaError,
+            SimulationError,
+            VGFunctionError,
+        ],
+    )
+    def test_all_errors_are_repro_errors(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_single_catch_covers_subsystems(self):
+        db = Database()
+        with pytest.raises(ReproError):
+            db.table("missing")
+        with pytest.raises(ReproError):
+            db.sql("SELEKT 1")
+
+
+class TestBrokenUserCallbacks:
+    def test_mapper_exception_propagates(self):
+        def mapper(key, value):
+            raise RuntimeError("user bug in mapper")
+            yield  # pragma: no cover
+
+        job = MapReduceJob("bad", mapper, lambda k, vs: iter(()))
+        with pytest.raises(RuntimeError, match="user bug"):
+            Cluster(2).run(job, [(None, 1)])
+
+    def test_vg_function_bad_output_column(self, rng):
+        db = Database()
+        db.create_table("outer_t", Schema.of(k=int))
+        db.table("outer_t").insert({"k": 1})
+
+        class BadVG(NormalVG):
+            def generate(self, rng, params):
+                return {"unexpected": 1.0}
+
+        spec = RandomTableSpec(
+            name="r",
+            vg=BadVG(),
+            outer_table="outer_t",
+            parameters={"mean": 0.0, "std": 1.0},
+            select={"out": "vg.value"},
+        )
+        with pytest.raises(KeyError):
+            spec.instantiate(db, rng)
+
+    def test_naive_query_returning_non_scalar(self):
+        db = Database()
+        db.create_table("outer_t", Schema.of(k=int))
+        db.table("outer_t").insert({"k": 1})
+        mc = MonteCarloDatabase(db, seed=0)
+        mc.register_random_table(
+            RandomTableSpec(
+                name="r",
+                vg=NormalVG(),
+                outer_table="outer_t",
+                parameters={"mean": 0.0, "std": 1.0},
+            )
+        )
+        with pytest.raises((TypeError, ValueError)):
+            mc.run_naive(lambda inst: "not a number", n_mc=2)
+
+
+class TestDegenerateNumerics:
+    def test_particle_filter_impossible_observation(self):
+        """All particles at zero likelihood must raise, not NaN out."""
+        ssm = LinearGaussianSSM()
+        model = ssm.to_state_space_model()
+        with pytest.raises(FilteringError):
+            particle_filter(model, [np.inf], 10, make_rng(0))
+
+    def test_wildfire_observation_density_finite(self):
+        params = WildfireParameters(height=4, width=4)
+        model = WildfireModel(params, seed=0)
+        state = model.initial_state((1, 1))
+        obs = np.full(len(model.sensor_rows), 20.0)
+        ll = model.observation_log_density(state[None, ...], obs)
+        assert np.all(np.isfinite(ll))
+
+    def test_update_where_with_failing_expression(self):
+        db = Database()
+        db.create_table("t", Schema.of(x=int))
+        db.table("t").insert({"x": 1})
+        with pytest.raises(QueryError):
+            db.table("t").update_where(lit(True), {"x": col("missing")})
+
+    def test_division_by_zero_in_sql(self):
+        db = Database()
+        db.sql("CREATE TABLE t (x int)")
+        db.sql("INSERT INTO t VALUES (0)")
+        with pytest.raises(ZeroDivisionError):
+            db.sql("SELECT 1 / x AS y FROM t")
+
+
+class TestSchemaEnforcement:
+    def test_insert_after_drop_fails(self):
+        db = Database()
+        db.sql("CREATE TABLE t (x int)")
+        db.sql("DROP TABLE t")
+        with pytest.raises(ReproError):
+            db.sql("INSERT INTO t VALUES (1)")
+
+    def test_create_as_empty_result_fails(self, people_db):
+        with pytest.raises(QueryError):
+            people_db.sql(
+                "CREATE TABLE e AS SELECT pid FROM person WHERE pid < 0"
+            )
+
+    def test_join_column_clobbering_detected(self):
+        db = Database()
+        db.create_table("a", Schema.of(k=int, v=int))
+        db.create_table("b", Schema.of(k=int, v=int))
+        db.table("a").insert({"k": 1, "v": 10})
+        db.table("b").insert({"k": 1, "v": 20})
+        # Default aliases clash ("v" twice); the parser disambiguates.
+        rows = db.sql("SELECT a.v, b.v FROM a JOIN b ON a.k = b.k")
+        assert rows == [{"v": 10, "b_v": 20}]

@@ -1,0 +1,259 @@
+"""Tests for the harmonization stack (time series, mapping, alignment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError
+from repro.harmonize import (
+    AlignmentClass,
+    FieldMapping,
+    NaturalCubicSpline,
+    SchemaMapping,
+    TimeAligner,
+    TimeSeries,
+    aggregate_series,
+    classify_alignment,
+    convert_units,
+    interpolate_on_cluster,
+    interpolate_series,
+    linear_interpolate,
+)
+from repro.mapreduce import Cluster
+from repro.stats import make_rng
+
+
+class TestTimeSeries:
+    def test_regular_construction(self):
+        ts = TimeSeries.regular(0.0, 1.0, {"a": [1.0, 2.0, 3.0]})
+        np.testing.assert_array_equal(ts.times, [0.0, 1.0, 2.0])
+        assert ts.median_spacing == 1.0
+
+    def test_validation(self):
+        with pytest.raises(AlignmentError):
+            TimeSeries(times=np.array([0.0, 0.0]), channels={"a": np.zeros(2)})
+        with pytest.raises(AlignmentError):
+            TimeSeries(times=np.array([0.0, 1.0]), channels={"a": np.zeros(3)})
+        with pytest.raises(AlignmentError):
+            TimeSeries(times=np.array([0.0, 1.0]), channels={})
+
+    def test_records_roundtrip(self):
+        ts = TimeSeries.regular(0.0, 0.5, {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        back = TimeSeries.from_records(ts.to_records())
+        np.testing.assert_array_equal(back.times, ts.times)
+        np.testing.assert_array_equal(back.channel("b"), ts.channel("b"))
+
+    def test_slice_time(self):
+        ts = TimeSeries.regular(0.0, 1.0, {"a": list(range(10))})
+        sliced = ts.slice_time(2.0, 5.0)
+        assert len(sliced) == 4
+
+    def test_unknown_channel(self):
+        ts = TimeSeries.regular(0.0, 1.0, {"a": [1.0, 2.0]})
+        with pytest.raises(AlignmentError):
+            ts.channel("zz")
+
+
+class TestSchemaMapping:
+    def test_rename(self):
+        ts = TimeSeries.regular(0.0, 1.0, {"sick": [1.0, 2.0]})
+        mapped = SchemaMapping.renames({"infected": "sick"}).apply(ts)
+        np.testing.assert_array_equal(mapped.channel("infected"), [1.0, 2.0])
+
+    def test_computed_field(self):
+        ts = TimeSeries.regular(0.0, 1.0, {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        mapping = SchemaMapping(
+            [FieldMapping("total", ("a", "b"), transform=lambda a, b: a + b)]
+        )
+        np.testing.assert_array_equal(mapping.apply(ts).channel("total"), [4.0, 6.0])
+
+    def test_unit_conversion(self):
+        ts = TimeSeries.regular(0.0, 1.0, {"w": [1.0, 2.0]})
+        mapping = SchemaMapping(
+            [FieldMapping("w_lb", ("w",), source_unit="kg", target_unit="lb")]
+        )
+        out = mapping.apply(ts)
+        assert out.channel("w_lb")[0] == pytest.approx(2.2046, abs=1e-3)
+        assert out.units["w_lb"] == "lb"
+
+    def test_affine_temperature_conversion(self):
+        c = np.array([0.0, 100.0])
+        f = convert_units(c, "celsius", "fahrenheit")
+        np.testing.assert_allclose(f, [32.0, 212.0])
+        np.testing.assert_allclose(convert_units(f, "fahrenheit", "celsius"), c)
+
+    def test_unknown_conversion(self):
+        with pytest.raises(AlignmentError):
+            convert_units(np.zeros(1), "kg", "mi")
+
+    def test_mismatch_detection(self):
+        mapping = SchemaMapping.renames({"x": "a", "y": "b"})
+        report = mapping.detect_mismatches(
+            source_channels=["a"], target_channels=["x", "y", "z"]
+        )
+        assert not report.ok
+        assert report.missing_sources == ("b",)
+        assert report.unmapped_targets == ("z",)
+
+    def test_clean_mapping_ok(self):
+        mapping = SchemaMapping.identity(["a"])
+        report = mapping.detect_mismatches(["a"], ["a"])
+        assert report.ok
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(AlignmentError):
+            SchemaMapping(
+                [FieldMapping("x", ("a",)), FieldMapping("x", ("b",))]
+            )
+
+
+class TestClassification:
+    def test_classes(self):
+        assert classify_alignment(1.0, 7.0) is AlignmentClass.AGGREGATION
+        assert classify_alignment(7.0, 1.0) is AlignmentClass.INTERPOLATION
+        assert classify_alignment(1.0, 1.0) is AlignmentClass.IDENTITY
+
+    def test_validation(self):
+        with pytest.raises(AlignmentError):
+            classify_alignment(0.0, 1.0)
+
+
+class TestAggregation:
+    def test_weekly_mean(self):
+        daily = TimeSeries.regular(0.0, 1.0, {"v": list(range(14))})
+        weekly = aggregate_series(daily, [0.0, 7.0], method="mean")
+        np.testing.assert_allclose(weekly.channel("v"), [3.0, 10.0])
+
+    def test_sum_and_last(self):
+        daily = TimeSeries.regular(0.0, 1.0, {"v": [1.0, 2.0, 3.0, 4.0]})
+        total = aggregate_series(daily, [0.0, 2.0], method="sum")
+        np.testing.assert_allclose(total.channel("v"), [3.0, 7.0])
+        last = aggregate_series(daily, [0.0, 2.0], method="last")
+        np.testing.assert_allclose(last.channel("v"), [2.0, 4.0])
+
+    def test_empty_window_is_nan(self):
+        ts = TimeSeries(times=np.array([5.0, 6.0]), channels={"v": np.array([1.0, 2.0])})
+        out = aggregate_series(ts, [0.0, 2.0, 5.0])
+        assert np.isnan(out.channel("v")[0])
+
+    def test_unknown_method(self):
+        ts = TimeSeries.regular(0.0, 1.0, {"v": [1.0, 2.0]})
+        with pytest.raises(AlignmentError):
+            aggregate_series(ts, [0.0], method="mode")
+
+
+class TestSpline:
+    def test_matches_scipy_natural(self):
+        from scipy.interpolate import CubicSpline
+
+        t = np.linspace(0, 10, 20)
+        y = np.sin(t) + 0.3 * t
+        ours = NaturalCubicSpline.fit(t, y)
+        ref = CubicSpline(t, y, bc_type="natural")
+        query = np.linspace(0, 10, 77)
+        np.testing.assert_allclose(ours.evaluate(query), ref(query), atol=1e-10)
+
+    def test_interpolates_knots_exactly(self):
+        t = np.linspace(0, 5, 9)
+        y = np.cos(t)
+        spline = NaturalCubicSpline.fit(t, y)
+        np.testing.assert_allclose(spline.evaluate(t), y, atol=1e-12)
+
+    def test_out_of_range(self):
+        spline = NaturalCubicSpline.fit([0.0, 1.0, 2.0], [0.0, 1.0, 0.0])
+        with pytest.raises(AlignmentError):
+            spline.evaluate([3.0])
+
+    def test_linear_interpolate(self):
+        out = linear_interpolate([0.0, 1.0], [0.0, 10.0], [0.25])
+        assert out[0] == pytest.approx(2.5)
+
+    def test_fit_with_external_constants(self):
+        from repro.harmonize import SGDConfig, dsgd_solve
+        from repro.stats import spline_system
+
+        t = np.linspace(0, 10, 30)
+        y = np.sin(t)
+        system = spline_system(t, y)
+        result = dsgd_solve(
+            system,
+            make_rng(0),
+            SGDConfig(epochs=300, step_exponent=0.6, step_scale=None),
+        )
+        approx = NaturalCubicSpline.fit(t, y, sigma_interior=result.x)
+        exact = NaturalCubicSpline.fit(t, y)
+        query = np.linspace(0, 10, 50)
+        np.testing.assert_allclose(
+            approx.evaluate(query), exact.evaluate(query), atol=0.05
+        )
+
+
+class TestClusterInterpolation:
+    def test_matches_sequential_cubic(self):
+        t = np.linspace(0, 20, 40)
+        series = TimeSeries(times=t, channels={"v": np.sin(t / 2.0)})
+        targets = np.linspace(0.0, 20.0, 161)
+        sequential = interpolate_series(series, targets, method="cubic")
+        distributed = interpolate_on_cluster(Cluster(5), series, targets)
+        np.testing.assert_allclose(
+            distributed.channel("v"), sequential.channel("v"), atol=1e-12
+        )
+
+    def test_linear_mode(self):
+        t = np.linspace(0, 4, 5)
+        series = TimeSeries(times=t, channels={"v": t * 2.0})
+        out = interpolate_on_cluster(
+            Cluster(2), series, [0.5, 1.5], method="linear"
+        )
+        np.testing.assert_allclose(out.channel("v"), [1.0, 3.0])
+
+    def test_target_out_of_range(self):
+        series = TimeSeries.regular(0.0, 1.0, {"v": [0.0, 1.0, 2.0]})
+        with pytest.raises(AlignmentError):
+            interpolate_on_cluster(Cluster(1), series, [5.0])
+
+
+class TestTimeAligner:
+    def test_picks_aggregation(self):
+        daily = TimeSeries.regular(0.0, 1.0, {"v": list(range(28))})
+        weekly_times = [0.0, 7.0, 14.0, 21.0]
+        out = TimeAligner().align(daily, weekly_times)
+        assert len(out) == 4
+        assert out.channel("v")[0] == pytest.approx(3.0)
+
+    def test_picks_interpolation(self):
+        weekly = TimeSeries.regular(0.0, 7.0, {"v": [0.0, 7.0, 14.0, 21.0]})
+        daily_times = np.arange(0.0, 21.1, 1.0)
+        out = TimeAligner(interpolation_method="cubic").align(weekly, daily_times)
+        # Data is linear, so interpolation should be near-exact.
+        np.testing.assert_allclose(out.channel("v"), daily_times, atol=1e-9)
+
+    def test_cluster_backed_aligner(self):
+        weekly = TimeSeries.regular(0.0, 7.0, {"v": [0.0, 7.0, 14.0]})
+        aligner = TimeAligner(cluster=Cluster(3))
+        out = aligner.align(weekly, np.arange(0.0, 14.1, 1.0))
+        np.testing.assert_allclose(out.channel("v"), np.arange(0.0, 14.1, 1.0), atol=1e-9)
+
+    def test_needs_two_targets(self):
+        ts = TimeSeries.regular(0.0, 1.0, {"v": [1.0, 2.0]})
+        with pytest.raises(AlignmentError):
+            TimeAligner().align(ts, [0.0])
+
+
+class TestUnitConversionProperties:
+    @pytest.mark.parametrize(
+        "a,b",
+        [("kg", "lb"), ("km", "mi"), ("m", "ft"),
+         ("per_day", "per_week"), ("count", "thousands")],
+    )
+    def test_conversions_invert(self, a, b):
+        values = np.array([0.0, 1.0, 123.456])
+        roundtrip = convert_units(convert_units(values, a, b), b, a)
+        np.testing.assert_allclose(roundtrip, values, rtol=1e-9, atol=1e-12)
+
+    def test_compile_returns_working_function(self):
+        mapping = SchemaMapping.renames({"y": "x"})
+        fn = mapping.compile()
+        ts = TimeSeries.regular(0.0, 1.0, {"x": [1.0, 2.0]})
+        np.testing.assert_array_equal(fn(ts).channel("y"), [1.0, 2.0])

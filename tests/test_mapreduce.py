@@ -1,0 +1,144 @@
+"""Tests for the MapReduce substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.mapreduce import (
+    Cluster,
+    JobCounters,
+    MapReduceJob,
+    identity_mapper,
+    identity_reducer,
+    sum_reducer,
+)
+
+
+def word_count_job(num_reducers: int = 4, combiner: bool = False):
+    def mapper(_, line):
+        for word in line.split():
+            yield word, 1
+
+    return MapReduceJob(
+        "wc",
+        mapper,
+        sum_reducer,
+        combiner=sum_reducer if combiner else None,
+        num_reducers=num_reducers,
+    )
+
+
+class TestWordCount:
+    def test_basic(self):
+        cluster = Cluster(num_workers=3)
+        inputs = [(None, "a b a"), (None, "b c"), (None, "a")]
+        out = dict(cluster.run(word_count_job(), inputs))
+        assert out == {"a": 3, "b": 2, "c": 1}
+
+    def test_same_result_any_workers(self):
+        inputs = [(None, f"w{i % 7} w{i % 3}") for i in range(40)]
+        baseline = dict(Cluster(num_workers=1).run(word_count_job(), inputs))
+        for workers in (2, 5, 16):
+            out = dict(Cluster(num_workers=workers).run(word_count_job(), inputs))
+            assert out == baseline
+
+    def test_combiner_reduces_shuffle(self):
+        inputs = [(None, "x x x x x")] * 10
+        plain = JobCounters()
+        Cluster(num_workers=2).run(word_count_job(), inputs, plain)
+        combined = JobCounters()
+        Cluster(num_workers=2).run(
+            word_count_job(combiner=True), inputs, combined
+        )
+        assert combined.records_shuffled < plain.records_shuffled
+        # But results identical:
+        out_a = dict(Cluster(2).run(word_count_job(), inputs))
+        out_b = dict(Cluster(2).run(word_count_job(combiner=True), inputs))
+        assert out_a == out_b
+
+    def test_reducer_partition_count_does_not_change_results(self):
+        inputs = [(None, f"w{i % 5}") for i in range(30)]
+        a = dict(Cluster(2).run(word_count_job(num_reducers=1), inputs))
+        b = dict(Cluster(2).run(word_count_job(num_reducers=7), inputs))
+        assert a == b
+
+
+class TestCounters:
+    def test_counts_flow(self):
+        counters = JobCounters()
+        inputs = [(None, "a b"), (None, "c")]
+        Cluster(1).run(word_count_job(), inputs, counters)
+        assert counters.records_read == 2
+        assert counters.records_mapped == 3
+        assert counters.records_shuffled == 3
+        assert counters.records_reduced == 3
+        assert counters.records_written == 3
+        assert counters.shuffle_bytes > 0
+
+    def test_custom_counters_merge(self):
+        a = JobCounters()
+        a.increment("hits", 2)
+        b = JobCounters()
+        b.increment("hits")
+        b.increment("misses")
+        merged = a.merge(b)
+        assert merged.custom == {"hits": 3, "misses": 1}
+
+    def test_summary_renders(self):
+        assert "shuffled" in JobCounters().summary()
+
+    def test_last_counters_requires_history(self):
+        with pytest.raises(SimulationError):
+            Cluster(1).last_counters()
+
+
+class TestChaining:
+    def test_two_stage_pipeline(self):
+        # Stage 1: word count; stage 2: histogram of counts.
+        def histogram_mapper(word, count):
+            yield count, 1
+
+        stage2 = MapReduceJob("hist", histogram_mapper, sum_reducer)
+        inputs = [(None, "a a b b c")]
+        cluster = Cluster(2)
+        out, counters = cluster.run_chain([word_count_job(), stage2], inputs)
+        assert dict(out) == {2: 2, 1: 1}
+        assert counters.records_read == 1 + 3  # stage1 lines + stage2 pairs
+
+
+class TestIdentityHelpers:
+    def test_identity_roundtrip(self):
+        job = MapReduceJob("id", identity_mapper, identity_reducer)
+        inputs = [(1, "x"), (2, "y")]
+        out = sorted(Cluster(2).run(job, inputs))
+        assert out == [(1, "x"), (2, "y")]
+
+
+class TestValidation:
+    def test_bad_worker_count(self):
+        with pytest.raises(SimulationError):
+            Cluster(0)
+
+    def test_bad_reducer_count(self):
+        with pytest.raises(ValueError):
+            MapReduceJob("x", identity_mapper, identity_reducer, num_reducers=0)
+
+
+@given(
+    words=st.lists(
+        st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+        min_size=1,
+        max_size=60,
+    ),
+    workers=st.integers(1, 6),
+)
+@settings(max_examples=30, deadline=None)
+def test_wordcount_matches_counter(words, workers):
+    from collections import Counter
+
+    inputs = [(None, w) for w in words]
+    out = dict(Cluster(workers).run(word_count_job(), inputs))
+    assert out == dict(Counter(words))

@@ -1,0 +1,392 @@
+"""Tests for the Monte Carlo database (MCDB)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Database, Schema
+from repro.errors import QueryError, SimulationError, VGFunctionError
+from repro.mcdb import (
+    BackwardRandomWalkVG,
+    BayesianDemandVG,
+    BundledTable,
+    DiscreteChoiceVG,
+    MonteCarloDatabase,
+    NormalVG,
+    PoissonVG,
+    RandomTableSpec,
+    StockOptionVG,
+    threshold_query,
+)
+from repro.mcdb.risk import conditional_value_at_risk, extreme_quantile, value_at_risk
+
+
+@pytest.fixture
+def sbp_mcdb():
+    """The paper's SBP_DATA blood-pressure example."""
+    db = Database()
+    db.create_table("patients", Schema.of(pid=int, gender=str))
+    for i in range(30):
+        db.table("patients").insert(
+            {"pid": i, "gender": "f" if i % 2 else "m"}
+        )
+    db.create_table("sbp_param", Schema.of(mean=float, std=float))
+    db.table("sbp_param").insert({"mean": 120.0, "std": 10.0})
+    mc = MonteCarloDatabase(db, seed=42)
+    mc.register_random_table(
+        RandomTableSpec(
+            name="sbp_data",
+            vg=NormalVG(),
+            outer_table="patients",
+            parameters="SELECT mean, std FROM sbp_param",
+            select={"pid": "outer.pid", "gender": "outer.gender", "sbp": "vg.value"},
+        )
+    )
+    return mc
+
+
+class TestVGFunctions:
+    def test_normal_vg_moments(self, rng):
+        vg = NormalVG()
+        bundle = vg.generate_bundle(rng, {"mean": 5.0, "std": 2.0}, 20000)
+        assert bundle["value"].mean() == pytest.approx(5.0, abs=0.1)
+        assert bundle["value"].std() == pytest.approx(2.0, abs=0.1)
+
+    def test_normal_vg_missing_params(self, rng):
+        with pytest.raises(VGFunctionError):
+            NormalVG().generate(rng, {"mean": 1.0})
+
+    def test_poisson_vg(self, rng):
+        bundle = PoissonVG().generate_bundle(rng, {"mean": 3.0}, 10000)
+        assert bundle["value"].mean() == pytest.approx(3.0, abs=0.15)
+
+    def test_discrete_choice_vg(self, rng):
+        params = {"values": [1.0, 10.0], "probabilities": [0.5, 0.5]}
+        bundle = DiscreteChoiceVG().generate_bundle(rng, params, 5000)
+        assert set(np.unique(bundle["value"])) <= {1.0, 10.0}
+
+    def test_backward_walk_positive_prices(self, rng):
+        vg = BackwardRandomWalkVG()
+        params = {"current_price": 100.0, "steps_back": 5, "sigma": 0.05}
+        bundle = vg.generate_bundle(rng, params, 1000)
+        assert np.all(bundle["prior_price"] > 0)
+        # Median should be near the current price (symmetric log walk).
+        assert np.median(bundle["prior_price"]) == pytest.approx(100.0, rel=0.05)
+
+    def test_stock_option_value_nonnegative(self, rng):
+        vg = StockOptionVG()
+        params = {
+            "price": 100.0,
+            "strike": 105.0,
+            "drift": 0.0,
+            "volatility": 0.02,
+            "steps": 5,
+        }
+        bundle = vg.generate_bundle(rng, params, 2000)
+        assert np.all(bundle["option_value"] >= 0)
+        assert (bundle["option_value"] > 0).mean() < 0.5  # mostly OTM
+
+    def test_bayesian_demand_shrinks_to_history(self, rng):
+        vg = BayesianDemandVG()
+        base = {
+            "price": 10.0,
+            "base": 3.0,
+            "prior_mean": 1.0,
+            "prior_sd": 1.0,
+            "noise_sd": 0.5,
+        }
+        no_history = vg.generate_bundle(
+            rng, {**base, "history_mean": 2.0, "history_n": 0}, 4000
+        )
+        rich_history = vg.generate_bundle(
+            rng, {**base, "history_mean": 2.0, "history_n": 100}, 4000
+        )
+        assert no_history["elasticity"].mean() == pytest.approx(1.0, abs=0.1)
+        assert rich_history["elasticity"].mean() == pytest.approx(2.0, abs=0.1)
+        # Posterior contracts with more data.
+        assert rich_history["elasticity"].std() < no_history["elasticity"].std()
+
+    def test_scalar_and_bundle_agree_in_distribution(self, rng):
+        vg = NormalVG()
+        params = {"mean": 0.0, "std": 1.0}
+        scalars = [vg.generate(rng, params)["value"] for _ in range(4000)]
+        assert np.mean(scalars) == pytest.approx(0.0, abs=0.08)
+
+
+class TestRandomTable:
+    def test_instantiate_shape(self, sbp_mcdb, rng):
+        table = sbp_mcdb._specs["sbp_data"].instantiate(sbp_mcdb.db, rng)
+        assert len(table) == 30
+        assert set(table.schema.names) == {"pid", "gender", "sbp"}
+
+    def test_parameter_query_must_return_one_row(self, rng):
+        db = Database()
+        db.create_table("outer_t", Schema.of(k=int))
+        db.table("outer_t").insert({"k": 1})
+        db.create_table("params", Schema.of(mean=float, std=float))
+        spec = RandomTableSpec(
+            name="r",
+            vg=NormalVG(),
+            outer_table="outer_t",
+            parameters="SELECT mean, std FROM params",
+        )
+        with pytest.raises(VGFunctionError):
+            spec.instantiate(db, rng)
+
+    def test_row_dependent_parameters(self, rng):
+        db = Database()
+        db.create_table("items", Schema.of(iid=int, base=float))
+        db.table("items").insert_many(
+            [{"iid": 1, "base": 10.0}, {"iid": 2, "base": 1000.0}]
+        )
+        spec = RandomTableSpec(
+            name="noisy",
+            vg=NormalVG(),
+            outer_table="items",
+            parameters=lambda _db, row: {"mean": row["base"], "std": 1e-9},
+        )
+        table = spec.instantiate(db, rng)
+        values = dict(zip(table.column_values("iid"), table.column_values("value")))
+        assert values[1] == pytest.approx(10.0, abs=1e-6)
+        assert values[2] == pytest.approx(1000.0, abs=1e-6)
+
+    def test_column_collision_detected(self, rng):
+        db = Database()
+        db.create_table("outer_t", Schema.of(value=float))
+        db.table("outer_t").insert({"value": 1.0})
+        spec = RandomTableSpec(
+            name="r",
+            vg=NormalVG(),
+            outer_table="outer_t",
+            parameters={"mean": 0.0, "std": 1.0},
+        )
+        with pytest.raises(VGFunctionError):
+            spec.instantiate(db, rng)
+
+    def test_empty_outer_table(self, rng):
+        db = Database()
+        db.create_table("outer_t", Schema.of(k=int))
+        spec = RandomTableSpec(
+            name="r", vg=NormalVG(), outer_table="outer_t",
+            parameters={"mean": 0.0, "std": 1.0},
+        )
+        with pytest.raises(VGFunctionError):
+            spec.instantiate(db, rng)
+
+
+class TestBundledTable:
+    def _bundle(self, n_mc=100):
+        rows = [
+            {"pid": 0, "value": np.linspace(0, 1, n_mc)},
+            {"pid": 1, "value": np.linspace(1, 2, n_mc)},
+        ]
+        return BundledTable("b", rows, n_mc)
+
+    def test_aggregate_sum(self):
+        b = self._bundle()
+        total = b.aggregate_sum("value")
+        np.testing.assert_allclose(
+            total, np.linspace(0, 1, 100) + np.linspace(1, 2, 100)
+        )
+
+    def test_filter_masks_iterations(self):
+        b = self._bundle()
+        filtered = b.filter(lambda row: row["value"] > 0.5)
+        counts = filtered.aggregate_count()
+        assert counts.min() >= 1  # row 1 always > 0.5 after halfway
+        assert counts.max() == 2
+
+    def test_avg_handles_empty_iterations(self):
+        rows = [{"pid": 0, "value": np.array([1.0, 10.0])}]
+        b = BundledTable("b", rows, 2)
+        filtered = b.filter(lambda row: row["value"] > 5.0)
+        avg = filtered.aggregate_avg("value")
+        # Row absent in iteration 0 -> table empty there -> no rows at all,
+        # so the filtered table has the row masked out in iteration 0.
+        assert np.isnan(avg[0])
+        assert avg[1] == 10.0
+
+    def test_min_max(self):
+        b = self._bundle()
+        np.testing.assert_allclose(b.aggregate_min("value"), np.linspace(0, 1, 100))
+        np.testing.assert_allclose(b.aggregate_max("value"), np.linspace(1, 2, 100))
+
+    def test_derive(self):
+        b = self._bundle().derive("scaled", lambda row: row["value"] * 10)
+        np.testing.assert_allclose(
+            b.aggregate_max("scaled"), np.linspace(1, 2, 100) * 10
+        )
+
+    def test_grouped_sum(self):
+        b = self._bundle()
+        groups = b.grouped_aggregate_sum("pid", "value")
+        assert set(groups) == {0, 1}
+        np.testing.assert_allclose(groups[0], np.linspace(0, 1, 100))
+
+    def test_join_deterministic(self):
+        b = self._bundle()
+        other = [{"pid": 0, "weight": 2.0}, {"pid": 1, "weight": 3.0}]
+        joined = b.join_deterministic(other, "pid", "pid")
+        assert len(joined) == 2
+        weighted = joined.derive("w", lambda r: r["value"] * r["weight"])
+        assert weighted.aggregate_sum("w")[0] == pytest.approx(
+            0.0 * 2.0 + 1.0 * 3.0
+        )
+
+    def test_join_uncertain_key_rejected(self):
+        b = self._bundle()
+        with pytest.raises(QueryError):
+            b.join_deterministic([{"value": 1}], "value", "value")
+
+    def test_bad_predicate_shape(self):
+        b = self._bundle()
+        with pytest.raises(QueryError):
+            b.filter(lambda row: np.array([True]))
+
+
+class TestMonteCarloDatabase:
+    def test_naive_expectation(self, sbp_mcdb):
+        dist = sbp_mcdb.run_naive(
+            lambda inst: inst.sql("SELECT AVG(sbp) AS m FROM sbp_data")[0]["m"],
+            n_mc=60,
+        )
+        assert dist.expectation() == pytest.approx(120.0, abs=1.5)
+
+    def test_bundled_expectation_matches_naive(self, sbp_mcdb):
+        naive = sbp_mcdb.run_naive(
+            lambda inst: inst.sql("SELECT AVG(sbp) AS m FROM sbp_data")[0]["m"],
+            n_mc=80,
+        )
+        bundled = sbp_mcdb.run_bundled(
+            lambda bundles, _db: bundles["sbp_data"].aggregate_avg("sbp"),
+            n_mc=80,
+        )
+        assert bundled.expectation() == pytest.approx(
+            naive.expectation(), abs=1.0
+        )
+        assert bundled.n == 80
+
+    def test_probability_estimates(self, sbp_mcdb):
+        dist = sbp_mcdb.run_bundled(
+            lambda bundles, _db: bundles["sbp_data"].aggregate_avg("sbp"),
+            n_mc=200,
+        )
+        p = dist.probability_above(120.0)
+        assert 0.2 < p < 0.8
+
+    def test_duplicate_registration(self, sbp_mcdb):
+        with pytest.raises(SimulationError):
+            sbp_mcdb.register_random_table(
+                RandomTableSpec(name="sbp_data", vg=NormalVG())
+            )
+
+    def test_reproducible_across_runs(self, sbp_mcdb):
+        q = lambda bundles, _db: bundles["sbp_data"].aggregate_avg("sbp")
+        a = sbp_mcdb.run_bundled(q, n_mc=10).samples
+        b = sbp_mcdb.run_bundled(q, n_mc=10).samples
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_bundled_shape(self, sbp_mcdb):
+        with pytest.raises(SimulationError):
+            sbp_mcdb.run_bundled(lambda b, d: np.zeros(3), n_mc=5)
+
+
+class TestRisk:
+    def test_threshold_query(self):
+        groups = {
+            "east": np.array([0.03] * 60 + [0.0] * 40),
+            "west": np.array([0.03] * 30 + [0.0] * 70),
+        }
+        results = threshold_query(
+            groups, lambda decline: decline > 0.02, min_probability=0.5
+        )
+        verdicts = {r.group: r.qualifies for r in results}
+        assert verdicts == {"east": True, "west": False}
+        assert results[0].group == "east"  # sorted by probability
+
+    def test_threshold_validation(self):
+        with pytest.raises(SimulationError):
+            threshold_query({}, lambda x: x > 0, min_probability=0.0)
+
+    def test_var_cvar_ordering(self, rng):
+        from repro.mcdb import QueryDistribution
+
+        dist = QueryDistribution(rng.lognormal(0, 1, size=2000))
+        var = value_at_risk(dist, 0.95)
+        cvar = conditional_value_at_risk(dist, 0.95)
+        assert cvar >= var
+
+    def test_extreme_quantile_extrapolates_beyond_sample(self, rng):
+        # Pareto(alpha=2) data: true 0.999 quantile is ~31.6
+        alpha = 2.0
+        data = (1.0 - rng.uniform(size=2000)) ** (-1.0 / alpha)
+        est = extreme_quantile(data, level=0.999)
+        true_q = (1.0 / 0.001) ** (1.0 / alpha)
+        # Tail extrapolation should land within a factor ~2 of truth and
+        # recover the tail index roughly.
+        assert 0.4 * true_q < est.tail_extrapolated < 2.5 * true_q
+        assert est.tail_index == pytest.approx(alpha, rel=0.5)
+
+    def test_extreme_quantile_validation(self):
+        with pytest.raises(SimulationError):
+            extreme_quantile([1.0] * 10, level=0.99)
+        with pytest.raises(SimulationError):
+            extreme_quantile(list(range(100)), level=0.4)
+
+
+class TestBundleQuantiles:
+    def test_per_iteration_quantile(self):
+        rows = [
+            {"pid": i, "value": np.full(3, float(i))} for i in range(11)
+        ]
+        bundle = BundledTable("b", rows, 3)
+        medians = bundle.aggregate_quantile("value", 0.5)
+        np.testing.assert_allclose(medians, [5.0, 5.0, 5.0])
+
+    def test_quantile_respects_masks(self):
+        rows = [
+            {"pid": i, "value": np.full(2, float(i))} for i in range(10)
+        ]
+        bundle = BundledTable("b", rows, 2).filter(
+            lambda row: row["value"] >= 5.0
+        )
+        q0 = bundle.aggregate_quantile("value", 0.0)
+        np.testing.assert_allclose(q0, [5.0, 5.0])
+
+    def test_quantile_empty_iteration_nan(self):
+        rows = [{"pid": 0, "value": np.array([1.0, 10.0])}]
+        bundle = BundledTable("b", rows, 2).filter(
+            lambda row: row["value"] > 5.0
+        )
+        q = bundle.aggregate_quantile("value", 0.5)
+        assert np.isnan(q[0]) and q[1] == 10.0
+
+    def test_quantile_level_validation(self):
+        rows = [{"pid": 0, "value": np.array([1.0])}]
+        with pytest.raises(QueryError):
+            BundledTable("b", rows, 1).aggregate_quantile("value", 1.5)
+
+
+class TestAggregateNullSemantics:
+    def test_count_star_vs_count_column(self):
+        from repro.engine import Database, Schema
+
+        db = Database()
+        db.create_table("t", Schema.of(x=float))
+        db.table("t").insert({"x": 1.0})
+        db.table("t").insert({"x": None})
+        row = db.sql(
+            "SELECT COUNT(*) AS all_rows, COUNT(x) AS non_null FROM t"
+        )[0]
+        assert row == {"all_rows": 2, "non_null": 1}
+
+    def test_avg_skips_nulls(self):
+        from repro.engine import Database, Schema
+
+        db = Database()
+        db.create_table("t", Schema.of(x=float))
+        db.table("t").insert_many(
+            [{"x": 2.0}, {"x": None}, {"x": 4.0}]
+        )
+        assert db.sql("SELECT AVG(x) AS a FROM t")[0]["a"] == 3.0

@@ -1,0 +1,228 @@
+"""Tests for metamodels and factor screening."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.doe import resolution_iii
+from repro.errors import DesignError
+from repro.metamodel import (
+    GaussianProcessMetamodel,
+    PolynomialMetamodel,
+    SequentialBifurcation,
+    StochasticKrigingMetamodel,
+    classify_active_effects,
+    gaussian_correlation,
+    gp_screening,
+    half_normal_points,
+    main_effects_table,
+    one_at_a_time_screening,
+    render_main_effects_plot,
+)
+from repro.stats import make_rng
+
+
+class TestPolynomial:
+    def test_recovers_linear_coefficients(self):
+        rng = make_rng(0)
+        x = rng.uniform(-1, 1, size=(50, 3))
+        y = 2.0 + 1.0 * x[:, 0] - 3.0 * x[:, 1] + 0.5 * x[:, 2]
+        model = PolynomialMetamodel(3, order=1).fit(x, y)
+        assert model.intercept == pytest.approx(2.0, abs=1e-9)
+        np.testing.assert_allclose(
+            model.main_effects(), [1.0, -3.0, 0.5], atol=1e-9
+        )
+
+    def test_recovers_interaction(self):
+        rng = make_rng(1)
+        x = rng.uniform(-1, 1, size=(60, 2))
+        y = 1.0 + x[:, 0] * x[:, 1] * 4.0
+        model = PolynomialMetamodel(2, order=2).fit(x, y)
+        assert model.coefficient((0, 1)) == pytest.approx(4.0, abs=1e-9)
+
+    def test_residual_sd_estimates_noise(self):
+        rng = make_rng(2)
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = x[:, 0] + rng.normal(0, 0.5, size=400)
+        model = PolynomialMetamodel(2, order=1).fit(x, y)
+        assert model.residual_sd == pytest.approx(0.5, abs=0.05)
+
+    def test_underdetermined_raises(self):
+        x = np.zeros((2, 3))
+        with pytest.raises(DesignError):
+            PolynomialMetamodel(3, order=1).fit(x, [0.0, 1.0])
+
+    def test_unknown_term(self):
+        model = PolynomialMetamodel(2, order=1).fit(
+            np.eye(3, 2), [1.0, 2.0, 3.0]
+        )
+        with pytest.raises(DesignError):
+            model.coefficient((0, 1))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(DesignError):
+            PolynomialMetamodel(2).predict(np.zeros((1, 2)))
+
+
+class TestMainEffects:
+    def _linear_response(self, design, coefficients, noise_sd, rng):
+        return design @ coefficients + rng.normal(
+            0, noise_sd, size=design.shape[0]
+        )
+
+    def test_effects_from_resolution_iii(self):
+        """The Figure 4 computation: effects off the Figure 3 design."""
+        design = resolution_iii(7)
+        beta = np.array([3.0, 0.0, -2.0, 0.0, 0.0, 1.0, 0.0])
+        responses = self._linear_response(design, beta, 0.0, make_rng(0))
+        table = main_effects_table(design, responses)
+        assert len(table) == 7
+        for entry, coef in zip(table, beta):
+            # effect = mean(high) - mean(low) = 2 * beta for +-1 coding
+            assert entry.effect == pytest.approx(2.0 * coef, abs=1e-9)
+
+    def test_requires_coded_design(self):
+        with pytest.raises(DesignError):
+            main_effects_table(np.array([[0.5, 1.0]]), [1.0])
+
+    def test_half_normal_points_monotone(self):
+        quantiles, effects = half_normal_points([0.1, -3.0, 0.2, 2.0])
+        assert np.all(np.diff(effects) >= 0)
+        assert np.all(np.diff(quantiles) > 0)
+        assert quantiles.shape == effects.shape
+
+    def test_classify_active(self):
+        effects = [0.05, -0.04, 3.0, 0.06, -2.5, 0.05, 0.04]
+        active = classify_active_effects(effects)
+        assert set(active) == {2, 4}
+
+    def test_render_plot_mentions_factors(self):
+        design = resolution_iii(7)
+        responses = design @ np.arange(1.0, 8.0)
+        table = main_effects_table(design, responses)
+        text = render_main_effects_plot(table)
+        assert "x1" in text and "x7" in text
+
+
+class TestGaussianProcess:
+    def test_interpolates_design_points(self):
+        rng = make_rng(0)
+        x = rng.uniform(0, 1, size=(15, 2))
+        y = np.sin(3 * x[:, 0]) + x[:, 1] ** 2
+        gp = GaussianProcessMetamodel().fit(x, y)
+        np.testing.assert_allclose(gp.predict(x), y, atol=1e-3)
+
+    def test_beats_linear_model_on_nonlinear_response(self):
+        rng = make_rng(1)
+        x = rng.uniform(0, 1, size=(30, 2))
+        f = lambda z: np.sin(4 * z[:, 0]) * np.cos(2 * z[:, 1])
+        y = f(x)
+        gp = GaussianProcessMetamodel().fit(x, y)
+        poly = PolynomialMetamodel(2, order=2).fit(x, y)
+        xq = rng.uniform(0, 1, size=(300, 2))
+        gp_rmse = np.sqrt(np.mean((gp.predict(xq) - f(xq)) ** 2))
+        poly_rmse = np.sqrt(np.mean((poly.predict(xq) - f(xq)) ** 2))
+        assert gp_rmse < poly_rmse / 2
+
+    def test_mse_zero_at_design_points(self):
+        rng = make_rng(2)
+        x = rng.uniform(0, 1, size=(10, 1))
+        y = x[:, 0] ** 2
+        gp = GaussianProcessMetamodel().fit(x, y)
+        _, mse = gp.predict(x, return_mse=True)
+        assert np.all(mse < 1e-4)
+
+    def test_theta_reflects_sensitivity(self):
+        rng = make_rng(3)
+        x = rng.uniform(0, 1, size=(40, 2))
+        y = np.sin(6 * x[:, 0]) + 0.001 * x[:, 1]
+        gp = GaussianProcessMetamodel().fit(x, y)
+        theta = gp.factor_importances()
+        assert theta[0] > theta[1]
+
+    def test_correlation_matrix_properties(self):
+        a = np.array([[0.0], [1.0]])
+        r = gaussian_correlation(a, a, np.array([1.0]))
+        assert r[0, 0] == pytest.approx(1.0)
+        assert r[0, 1] == pytest.approx(np.exp(-1.0))
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            GaussianProcessMetamodel().fit(np.zeros((1, 2)), [1.0])
+        with pytest.raises(DesignError):
+            GaussianProcessMetamodel().predict(np.zeros((1, 2)))
+
+
+class TestStochasticKriging:
+    def test_smooths_rather_than_interpolates(self):
+        rng = make_rng(4)
+        x = np.linspace(0, 1, 15)[:, None]
+        truth = np.sin(3 * x[:, 0])
+        noisy = truth + rng.normal(0, 0.3, size=15)
+        sk = StochasticKrigingMetamodel().fit_noisy(
+            x, noisy, np.full(15, 0.09)
+        )
+        predictions = sk.predict(x)
+        # Closer to the truth than to the noisy observations on average.
+        err_truth = np.mean((predictions - truth) ** 2)
+        err_noisy = np.mean((predictions - noisy) ** 2)
+        assert err_truth < np.mean((noisy - truth) ** 2)
+        assert err_noisy > 1e-6  # did not interpolate the noise
+
+    def test_validation(self):
+        sk = StochasticKrigingMetamodel()
+        with pytest.raises(DesignError):
+            sk.fit_noisy(np.zeros((3, 1)), [1.0, 2.0, 3.0], [-1.0, 0.0, 0.0])
+        with pytest.raises(DesignError):
+            sk.predict(np.zeros((1, 1)))
+
+
+class TestScreening:
+    def _simulator(self, important, effect=2.0, noise=0.3, k=24):
+        true = np.zeros(k)
+        true[list(important)] = effect
+
+        def simulate(levels, rng):
+            return float(levels @ true + rng.normal(0, noise))
+
+        return simulate
+
+    def test_sb_finds_important_factors(self):
+        sim = self._simulator({2, 11, 19})
+        result = SequentialBifurcation(
+            sim, 24, threshold=1.0, replications=3, seed=0
+        ).run()
+        assert result.important == [2, 11, 19]
+
+    def test_sb_cheaper_than_oat_when_sparse(self):
+        sim = self._simulator({5}, k=64)
+        sb = SequentialBifurcation(
+            sim, 64, threshold=1.0, replications=2, seed=1
+        ).run()
+        oat = one_at_a_time_screening(sim, 64, threshold=1.0, replications=2, seed=2)
+        assert sb.important == oat.important == [5]
+        assert sb.runs_used < oat.runs_used / 2
+
+    def test_sb_no_important_factors(self):
+        sim = self._simulator(set(), k=16)
+        result = SequentialBifurcation(
+            sim, 16, threshold=1.0, replications=2, seed=3
+        ).run()
+        assert result.important == []
+        # Only the root group was probed: two cumulative settings.
+        assert result.probes == 1
+
+    def test_sb_validation(self):
+        sim = self._simulator({0})
+        with pytest.raises(DesignError):
+            SequentialBifurcation(sim, 0, threshold=1.0)
+        with pytest.raises(DesignError):
+            SequentialBifurcation(sim, 4, threshold=0.0)
+
+    def test_gp_screening_ranks_true_factors(self):
+        rng = make_rng(5)
+        x = rng.uniform(-1, 1, size=(50, 6))
+        y = 4.0 * x[:, 2] + np.sin(3 * x[:, 5])
+        top = gp_screening(x, y, top_k=2)
+        assert top == [2, 5]

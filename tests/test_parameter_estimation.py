@@ -1,0 +1,106 @@
+"""Tests for simulated maximum likelihood via the particle filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assimilation import (
+    LinearGaussianSSM,
+    estimate_parameters,
+    exact_log_likelihood,
+    linear_gaussian_builder,
+    pf_log_likelihood,
+)
+from repro.errors import FilteringError
+from repro.stats import make_rng
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    true = LinearGaussianSSM(a=0.8, q=0.4, r=0.5)
+    _, observations = true.simulate(120, make_rng(0))
+    return true, observations
+
+
+class TestPfLogLikelihood:
+    def test_matches_exact_for_linear_gaussian(self, scenario):
+        true, observations = scenario
+        builder = linear_gaussian_builder(true)
+        estimated = pf_log_likelihood(
+            builder,
+            np.array([true.a, true.q]),
+            observations,
+            n_particles=2000,
+            seed=1,
+        )
+        exact = exact_log_likelihood(true, observations)
+        assert estimated == pytest.approx(exact, abs=2.0)
+
+    def test_common_random_numbers_deterministic(self, scenario):
+        true, observations = scenario
+        builder = linear_gaussian_builder(true)
+        theta = np.array([0.7, 0.5])
+        a = pf_log_likelihood(builder, theta, observations, 200, seed=2)
+        b = pf_log_likelihood(builder, theta, observations, 200, seed=2)
+        assert a == b
+
+    def test_true_parameters_beat_wrong_ones(self, scenario):
+        true, observations = scenario
+        builder = linear_gaussian_builder(true)
+        at_truth = pf_log_likelihood(
+            builder, np.array([true.a, true.q]), observations, 1000, seed=3
+        )
+        far = pf_log_likelihood(
+            builder, np.array([0.1, 3.0]), observations, 1000, seed=3
+        )
+        assert at_truth > far
+
+
+class TestEstimateParameters:
+    def test_recovers_dynamics_parameters(self, scenario):
+        true, observations = scenario
+        builder = linear_gaussian_builder(true)
+        result = estimate_parameters(
+            builder,
+            observations,
+            initial=[0.5, 1.0],
+            bounds=[(0.0, 0.99), (0.05, 3.0)],
+            n_particles=400,
+            seed=4,
+        )
+        # Exact MLE differs from truth by sampling error; accept a
+        # generous band around the true values.
+        assert result.theta[0] == pytest.approx(true.a, abs=0.15)
+        assert result.theta[1] == pytest.approx(true.q, abs=0.3)
+        assert np.isfinite(result.log_likelihood)
+
+    def test_estimated_likelihood_at_mle_not_worse_than_truth(self, scenario):
+        true, observations = scenario
+        builder = linear_gaussian_builder(true)
+        result = estimate_parameters(
+            builder,
+            observations,
+            initial=[0.5, 1.0],
+            bounds=[(0.0, 0.99), (0.05, 3.0)],
+            n_particles=400,
+            seed=5,
+        )
+        at_truth = pf_log_likelihood(
+            builder,
+            np.array([true.a, true.q]),
+            observations,
+            400,
+            seed=5,
+        )
+        assert result.log_likelihood >= at_truth - 1.0
+
+    def test_empty_observations_rejected(self, scenario):
+        true, _ = scenario
+        with pytest.raises(FilteringError):
+            estimate_parameters(
+                linear_gaussian_builder(true),
+                [],
+                initial=[0.5, 0.5],
+                bounds=[(0.0, 1.0), (0.1, 2.0)],
+            )

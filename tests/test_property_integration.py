@@ -1,0 +1,221 @@
+"""Cross-module property and integration tests.
+
+These tests check invariants that tie subsystems together: SQL vs fluent
+query equivalence, optimizer result preservation under random predicates,
+naive vs tuple-bundle MCDB agreement, resampling expectation
+preservation, and the g(alpha) formula relationships.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.composite import CompositeStatistics, g_approx, g_exact
+from repro.engine import Database, Schema, col, parse_select
+from repro.mcdb import MonteCarloDatabase, NormalVG, RandomTableSpec
+from repro.stats import make_rng
+
+
+def make_db(rows):
+    db = Database()
+    db.create_table("t", Schema.of(k=int, v=float, tag=str))
+    tags = ["a", "b", "c"]
+    for i, v in enumerate(rows):
+        db.table("t").insert({"k": i % 5, "v": v, "tag": tags[i % 3]})
+    return db
+
+
+class TestSqlFluentEquivalence:
+    @given(
+        rows=st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+        cutoff=st.floats(-100, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_filter_equivalence(self, rows, cutoff):
+        db = make_db(rows)
+        sql = db.sql(f"SELECT v FROM t WHERE v > {cutoff!r}")
+        fluent = db.query("t").where(col("v") > cutoff).select("v").run()
+        assert sorted(r["v"] for r in sql) == sorted(r["v"] for r in fluent)
+
+    @given(rows=st.lists(st.floats(-50, 50), min_size=2, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_aggregate_equivalence(self, rows):
+        db = make_db(rows)
+        sql = db.sql(
+            "SELECT k, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY k "
+            "ORDER BY k"
+        )
+        from repro.engine import count, sum_
+
+        fluent = (
+            db.query("t")
+            .aggregate(count(alias="n"), sum_("v", alias="s"), group_by=["k"])
+            .order_by("k")
+            .run()
+        )
+        assert len(sql) == len(fluent)
+        for a, b in zip(sql, fluent):
+            assert a["k"] == b["k"]
+            assert a["n"] == b["n"]
+            assert a["s"] == pytest.approx(b["s"], rel=1e-9, abs=1e-9)
+
+
+class TestOptimizerPreservesResults:
+    @given(
+        rows=st.lists(st.floats(-20, 20), min_size=1, max_size=25),
+        cutoff=st.floats(-20, 20),
+        tag=st.sampled_from(["a", "b", "c"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_join_with_filters(self, rows, cutoff, tag):
+        db = make_db(rows)
+        db.create_table("dim", Schema.of(k=int, label=str))
+        for k in range(5):
+            db.table("dim").insert({"k": k, "label": f"L{k}"})
+        db.analyze()
+        sql = (
+            f"SELECT t.v, d.label FROM t JOIN dim d ON t.k = d.k "
+            f"WHERE t.v <= {cutoff!r} AND t.tag = '{tag}'"
+        )
+        plan = parse_select(sql)
+        raw = db.execute_plan(plan, optimized=False)
+        opt = db.execute_plan(plan, optimized=True)
+        key = lambda r: (r["v"], r["label"])
+        assert sorted(raw, key=key) == sorted(opt, key=key)
+
+
+class TestAggregateAlgebra:
+    @given(rows=st.lists(st.floats(-100, 100), min_size=2, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_avg_times_count_equals_sum(self, rows):
+        db = make_db(rows)
+        result = db.sql(
+            "SELECT COUNT(v) AS n, AVG(v) AS a, SUM(v) AS s FROM t"
+        )[0]
+        assert result["a"] * result["n"] == pytest.approx(
+            result["s"], rel=1e-9, abs=1e-6
+        )
+
+    @given(rows=st.lists(st.floats(-100, 100), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_min_le_avg_le_max(self, rows):
+        db = make_db(rows)
+        result = db.sql(
+            "SELECT MIN(v) AS lo, AVG(v) AS a, MAX(v) AS hi FROM t"
+        )[0]
+        assert result["lo"] - 1e-9 <= result["a"] <= result["hi"] + 1e-9
+
+
+class TestMcdbModes:
+    @given(
+        mean=st.floats(-50, 50),
+        std=st.floats(0.5, 10.0),
+        n_rows=st.integers(3, 15),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_naive_and_bundled_agree(self, mean, std, n_rows):
+        db = Database()
+        db.create_table("outer_t", Schema.of(oid=int))
+        for i in range(n_rows):
+            db.table("outer_t").insert({"oid": i})
+        mc = MonteCarloDatabase(db, seed=5)
+        mc.register_random_table(
+            RandomTableSpec(
+                name="r",
+                vg=NormalVG(),
+                outer_table="outer_t",
+                parameters={"mean": mean, "std": std},
+            )
+        )
+        n_mc = 150
+        naive = mc.run_naive(
+            lambda inst: inst.sql("SELECT AVG(value) AS m FROM r")[0]["m"],
+            n_mc,
+        )
+        bundled = mc.run_bundled(
+            lambda bundles, _db: bundles["r"].aggregate_avg("value"), n_mc
+        )
+        # Same target: E = mean, sd of the sample mean = std/sqrt(rows).
+        tolerance = 5.0 * std / np.sqrt(n_rows * n_mc) + 1e-9
+        assert abs(naive.expectation() - mean) < tolerance
+        assert abs(bundled.expectation() - mean) < tolerance
+
+
+class TestResamplingExpectation:
+    @given(
+        weights_raw=st.lists(
+            st.floats(0.01, 10.0), min_size=3, max_size=30
+        ),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_systematic_resample_preserves_mean(self, weights_raw, seed):
+        from repro.assimilation import systematic_resample
+
+        weights = np.asarray(weights_raw)
+        weights = weights / weights.sum()
+        values = np.arange(weights.size, dtype=float)
+        target = float(weights @ values)
+        rng = make_rng(seed)
+        means = []
+        for _ in range(100):
+            indices = systematic_resample(weights, rng)
+            means.append(values[indices].mean())
+        # Systematic resampling is unbiased; its Monte Carlo error over
+        # 100 draws is small relative to the value scale.
+        assert np.mean(means) == pytest.approx(target, abs=0.5)
+
+
+class TestGFormulaRelations:
+    @given(
+        c1=st.floats(0.5, 50),
+        c2=st.floats(0.1, 10),
+        v1=st.floats(0.5, 20),
+        ratio=st.floats(0.05, 1.0),
+        k=st.integers(1, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exact_equals_approx_at_inverse_integers(
+        self, c1, c2, v1, ratio, k
+    ):
+        stats = CompositeStatistics(c1=c1, c2=c2, v1=v1, v2=v1 * ratio)
+        alpha = 1.0 / k
+        assert g_exact(alpha, stats) == pytest.approx(
+            g_approx(alpha, stats), rel=1e-9
+        )
+
+    @given(
+        c1=st.floats(0.5, 50),
+        c2=st.floats(0.1, 10),
+        v1=st.floats(0.5, 20),
+        ratio=st.floats(0.05, 0.95),
+        alpha=st.floats(0.02, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_g_exact_at_least_intrinsic_floor(
+        self, c1, c2, v1, ratio, alpha
+    ):
+        """g can never fall below the cost floor times fresh-noise var."""
+        stats = CompositeStatistics(c1=c1, c2=c2, v1=v1, v2=v1 * ratio)
+        floor = c2 * (v1 - stats.v2)
+        assert g_exact(alpha, stats) >= floor - 1e-9
+
+
+class TestSplineRefinement:
+    @given(knots=st.integers(8, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_error_shrinks_with_knot_count(self, knots):
+        from repro.harmonize import NaturalCubicSpline
+
+        f = np.sin
+        coarse_t = np.linspace(0, np.pi, knots)
+        fine_t = np.linspace(0, np.pi, knots * 2)
+        query = np.linspace(0, np.pi, 200)
+        coarse = NaturalCubicSpline.fit(coarse_t, f(coarse_t))
+        fine = NaturalCubicSpline.fit(fine_t, f(fine_t))
+        coarse_err = np.abs(coarse.evaluate(query) - f(query)).max()
+        fine_err = np.abs(fine.evaluate(query) - f(query)).max()
+        assert fine_err <= coarse_err + 1e-12

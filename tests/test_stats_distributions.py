@@ -1,0 +1,139 @@
+"""Tests for repro.stats.distributions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.stats import (
+    Bernoulli,
+    Discrete,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Normal,
+    Poisson,
+    Uniform,
+)
+
+ALL_DISTRIBUTIONS = [
+    Normal(2.0, 1.5),
+    LogNormal(0.1, 0.4),
+    Exponential(2.5),
+    Uniform(-1.0, 3.0),
+    Poisson(4.0),
+    Bernoulli(0.3),
+    Discrete([1.0, 2.0, 5.0], [0.2, 0.3, 0.5]),
+    Empirical([1.0, 1.0, 4.0, 6.0]),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: repr(d))
+def test_sample_mean_matches_theoretical(dist, rng):
+    samples = np.asarray(dist.sample(rng, size=60000), dtype=float)
+    tolerance = 4.0 * dist.std() / math.sqrt(samples.size) + 1e-9
+    assert abs(samples.mean() - dist.mean()) < tolerance
+
+
+@pytest.mark.parametrize("dist", ALL_DISTRIBUTIONS, ids=lambda d: repr(d))
+def test_sample_variance_matches_theoretical(dist, rng):
+    samples = np.asarray(dist.sample(rng, size=60000), dtype=float)
+    assert samples.var() == pytest.approx(dist.var(), rel=0.15, abs=1e-3)
+
+
+def test_normal_log_pdf_matches_scipy(rng):
+    from scipy.stats import norm
+
+    dist = Normal(1.0, 2.0)
+    x = rng.normal(size=10)
+    np.testing.assert_allclose(
+        dist.log_pdf(x), norm.logpdf(x, 1.0, 2.0), rtol=1e-10
+    )
+
+
+def test_exponential_log_pdf_negative_support():
+    dist = Exponential(1.0)
+    assert dist.log_pdf(np.array([-1.0]))[0] == -np.inf
+
+
+def test_lognormal_pdf_zero_below_support():
+    dist = LogNormal(0.0, 1.0)
+    assert dist.pdf(np.array([-0.5]))[0] == 0.0
+    assert dist.pdf(np.array([1.0]))[0] > 0.0
+
+
+def test_uniform_log_pdf_inside_outside():
+    dist = Uniform(0.0, 2.0)
+    values = dist.log_pdf(np.array([1.0, 5.0]))
+    assert values[0] == pytest.approx(-math.log(2.0))
+    assert values[1] == -np.inf
+
+
+def test_poisson_log_pdf_integers_only():
+    dist = Poisson(3.0)
+    values = dist.log_pdf(np.array([2.0, 2.5]))
+    assert np.isfinite(values[0])
+    assert values[1] == -np.inf
+
+
+def test_bernoulli_support():
+    dist = Bernoulli(0.25)
+    assert dist.pdf(np.array([1.0]))[0] == pytest.approx(0.25)
+    assert dist.pdf(np.array([0.0]))[0] == pytest.approx(0.75)
+    assert dist.pdf(np.array([0.5]))[0] == 0.0
+
+
+def test_discrete_mass_function():
+    dist = Discrete([1.0, 2.0], [0.4, 0.6])
+    assert dist.pdf(np.array([2.0]))[0] == pytest.approx(0.6)
+    assert dist.pdf(np.array([3.0]))[0] == 0.0
+
+
+class TestValidation:
+    def test_normal_rejects_nonpositive_sigma(self):
+        with pytest.raises(SimulationError):
+            Normal(0.0, 0.0)
+
+    def test_exponential_rejects_nonpositive_rate(self):
+        with pytest.raises(SimulationError):
+            Exponential(-1.0)
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(SimulationError):
+            Uniform(2.0, 1.0)
+
+    def test_bernoulli_rejects_out_of_range(self):
+        with pytest.raises(SimulationError):
+            Bernoulli(1.5)
+
+    def test_discrete_rejects_bad_probabilities(self):
+        with pytest.raises(SimulationError):
+            Discrete([1.0, 2.0], [0.4, 0.4])
+
+    def test_empirical_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            Empirical([])
+
+
+@given(
+    mu=st.floats(-5, 5),
+    sigma=st.floats(0.1, 3.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_normal_pdf_integrates_to_one(mu, sigma):
+    dist = Normal(mu, sigma)
+    x = np.linspace(mu - 8 * sigma, mu + 8 * sigma, 2001)
+    integral = np.trapezoid(dist.pdf(x), x)
+    assert integral == pytest.approx(1.0, abs=1e-4)
+
+
+@given(rate=st.floats(0.2, 5.0))
+@settings(max_examples=25, deadline=None)
+def test_exponential_mean_var_relationship(rate):
+    dist = Exponential(rate)
+    assert dist.var() == pytest.approx(dist.mean() ** 2)

@@ -1,0 +1,148 @@
+"""Tests for repro.stats.estimators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.stats import (
+    RunningStatistics,
+    batch_means,
+    covariance,
+    efficiency,
+    mean_confidence_interval,
+    quantile_confidence_interval,
+    sample_mean,
+    sample_quantile,
+    sample_variance,
+)
+
+
+class TestPointEstimators:
+    def test_sample_mean(self):
+        assert sample_mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_sample_mean_empty_raises(self):
+        with pytest.raises(SimulationError):
+            sample_mean([])
+
+    def test_sample_variance_unbiased(self):
+        assert sample_variance([1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_sample_variance_needs_two(self):
+        with pytest.raises(SimulationError):
+            sample_variance([1.0])
+
+    def test_sample_quantile_median(self):
+        assert sample_quantile([1, 2, 3, 4, 5], 0.5) == 3.0
+
+    def test_sample_quantile_rejects_bad_level(self):
+        with pytest.raises(SimulationError):
+            sample_quantile([1.0], 1.5)
+
+
+class TestIntervals:
+    def test_mean_ci_contains_truth_mostly(self, rng):
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            data = rng.normal(5.0, 2.0, size=50)
+            if mean_confidence_interval(data, 0.95).contains(5.0):
+                hits += 1
+        assert hits / trials > 0.88
+
+    def test_mean_ci_width_shrinks_with_n(self, rng):
+        small = mean_confidence_interval(rng.normal(size=50))
+        large = mean_confidence_interval(rng.normal(size=5000))
+        assert large.half_width < small.half_width
+
+    def test_quantile_ci_brackets_point(self, rng):
+        data = rng.exponential(size=500)
+        ci = quantile_confidence_interval(data, 0.9)
+        assert ci.lower <= ci.estimate <= ci.upper
+
+    def test_single_sample_degenerate_interval(self):
+        ci = mean_confidence_interval([3.0])
+        assert ci.lower == ci.upper == 3.0
+
+
+class TestBatchMeans:
+    def test_batch_means_unbiased_mean(self, rng):
+        data = rng.normal(10.0, 1.0, size=1000)
+        mean, se = batch_means(data, batches=10)
+        assert mean == pytest.approx(data[:1000].mean(), abs=1e-9)
+        assert se > 0
+
+    def test_batch_means_validation(self):
+        with pytest.raises(SimulationError):
+            batch_means([1.0, 2.0], batches=1)
+        with pytest.raises(SimulationError):
+            batch_means([1.0, 2.0], batches=5)
+
+
+class TestEfficiency:
+    def test_product_form(self):
+        assert efficiency(2.0, 0.5) == 1.0
+
+    def test_zero_variance_is_infinitely_efficient(self):
+        assert efficiency(1.0, 0.0) == math.inf
+
+    def test_invalid_cost(self):
+        with pytest.raises(SimulationError):
+            efficiency(0.0, 1.0)
+
+
+class TestRunningStatistics:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(size=100)
+        stats = RunningStatistics()
+        stats.update_many(data)
+        assert stats.mean == pytest.approx(float(data.mean()))
+        assert stats.variance == pytest.approx(float(data.var(ddof=1)))
+
+    def test_merge_equals_combined(self, rng):
+        a = rng.normal(size=60)
+        b = rng.normal(loc=2.0, size=40)
+        sa, sb = RunningStatistics(), RunningStatistics()
+        sa.update_many(a)
+        sb.update_many(b)
+        merged = sa.merge(sb)
+        combined = np.concatenate([a, b])
+        assert merged.count == 100
+        assert merged.mean == pytest.approx(float(combined.mean()))
+        assert merged.variance == pytest.approx(float(combined.var(ddof=1)))
+
+    def test_merge_with_empty(self):
+        stats = RunningStatistics()
+        stats.update(1.0)
+        merged = stats.merge(RunningStatistics())
+        assert merged.count == 1
+        assert merged.mean == 1.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_streaming_matches_batch(self, values):
+        stats = RunningStatistics()
+        stats.update_many(values)
+        arr = np.asarray(values)
+        assert stats.mean == pytest.approx(float(arr.mean()), rel=1e-9, abs=1e-6)
+        assert stats.variance == pytest.approx(
+            float(arr.var(ddof=1)), rel=1e-6, abs=1e-4
+        )
+
+
+class TestCovariance:
+    def test_positive_for_identical(self, rng):
+        x = rng.normal(size=100)
+        assert covariance(x, x) == pytest.approx(float(x.var(ddof=1)))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            covariance([1.0], [1.0])
+        with pytest.raises(SimulationError):
+            covariance([1.0, 2.0], [1.0])

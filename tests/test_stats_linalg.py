@@ -1,0 +1,136 @@
+"""Tests for repro.stats.linalg (Thomas solver, spline systems)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.stats import (
+    TridiagonalSystem,
+    least_squares_loss,
+    make_rng,
+    random_diagonally_dominant_system,
+    spline_system,
+    thomas_solve,
+)
+
+
+class TestTridiagonalSystem:
+    def test_dense_matches_bands(self):
+        system = TridiagonalSystem(
+            lower=np.array([0.0, 1.0, 2.0]),
+            diag=np.array([4.0, 5.0, 6.0]),
+            upper=np.array([7.0, 8.0, 0.0]),
+            rhs=np.array([1.0, 1.0, 1.0]),
+        )
+        expected = np.array(
+            [[4.0, 7.0, 0.0], [1.0, 5.0, 8.0], [2.0, 6.0, 0.0]]
+        )
+        # note dense places lower[i] at (i, i-1) and upper[i] at (i, i+1)
+        dense = system.dense()
+        assert dense[0, 0] == 4.0 and dense[0, 1] == 7.0
+        assert dense[1, 0] == 1.0 and dense[1, 1] == 5.0 and dense[1, 2] == 8.0
+        assert dense[2, 1] == 2.0 and dense[2, 2] == 6.0
+
+    def test_matvec_matches_dense(self):
+        system = random_diagonally_dominant_system(10, make_rng(0))
+        x = make_rng(1).normal(size=10)
+        np.testing.assert_allclose(
+            system.matvec(x), system.dense() @ x, rtol=1e-12
+        )
+
+    def test_row_matches_dense(self):
+        system = random_diagonally_dominant_system(6, make_rng(2))
+        dense = system.dense()
+        for i in range(6):
+            np.testing.assert_allclose(system.row(i), dense[i])
+
+    def test_shape_validation(self):
+        with pytest.raises(SimulationError):
+            TridiagonalSystem(
+                lower=np.zeros(2),
+                diag=np.ones(3),
+                upper=np.zeros(3),
+                rhs=np.zeros(3),
+            )
+
+
+class TestThomasSolver:
+    @pytest.mark.parametrize("size", [1, 2, 3, 10, 200])
+    def test_solves_random_system(self, size):
+        system = random_diagonally_dominant_system(size, make_rng(size))
+        x = thomas_solve(system)
+        assert system.residual_norm(x) < 1e-9
+
+    def test_matches_numpy_solve(self):
+        system = random_diagonally_dominant_system(25, make_rng(7))
+        x = thomas_solve(system)
+        expected = np.linalg.solve(system.dense(), system.rhs)
+        np.testing.assert_allclose(x, expected, rtol=1e-9)
+
+    def test_zero_pivot_raises(self):
+        system = TridiagonalSystem(
+            lower=np.zeros(2),
+            diag=np.array([0.0, 1.0]),
+            upper=np.zeros(2),
+            rhs=np.ones(2),
+        )
+        with pytest.raises(SimulationError):
+            thomas_solve(system)
+
+    def test_empty_system(self):
+        system = TridiagonalSystem(
+            lower=np.zeros(0), diag=np.zeros(0),
+            upper=np.zeros(0), rhs=np.zeros(0),
+        )
+        assert thomas_solve(system).size == 0
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_residual_small(self, seed):
+        system = random_diagonally_dominant_system(30, make_rng(seed))
+        x = thomas_solve(system)
+        assert system.residual_norm(x) < 1e-8
+
+
+class TestSplineSystem:
+    def test_known_parabola_constants(self):
+        # For data on a parabola y = t^2 with equal spacing h=1, the second
+        # derivative is 2 everywhere; interior sigma approach 2 away from
+        # the natural boundary.
+        t = np.arange(11.0)
+        y = t**2
+        system = spline_system(t, y)
+        sigma = thomas_solve(system)
+        assert sigma[len(sigma) // 2] == pytest.approx(2.0, abs=0.1)
+
+    def test_linear_data_zero_constants(self):
+        t = np.linspace(0, 5, 8)
+        y = 3.0 * t + 1.0
+        sigma = thomas_solve(spline_system(t, y))
+        np.testing.assert_allclose(sigma, np.zeros_like(sigma), atol=1e-12)
+
+    def test_system_size(self):
+        t = np.linspace(0, 1, 12)
+        system = spline_system(t, np.sin(t))
+        assert system.size == 10  # m - 1 with m = 11
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            spline_system(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        with pytest.raises(SimulationError):
+            spline_system(np.array([0.0, 0.0, 1.0]), np.zeros(3))
+
+
+class TestLeastSquaresLoss:
+    def test_zero_at_solution(self):
+        system = random_diagonally_dominant_system(15, make_rng(3))
+        x = thomas_solve(system)
+        assert least_squares_loss(system, x) < 1e-18
+
+    def test_positive_away_from_solution(self):
+        system = random_diagonally_dominant_system(15, make_rng(4))
+        assert least_squares_loss(system, np.zeros(15)) > 0

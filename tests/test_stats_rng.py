@@ -1,0 +1,79 @@
+"""Tests for repro.stats.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    RandomStreamFactory,
+    antithetic_uniforms,
+    deterministic_cycle,
+    make_rng,
+    stratified_uniforms,
+)
+
+
+class TestRandomStreamFactory:
+    def test_same_key_reproduces_stream(self):
+        factory = RandomStreamFactory(seed=7)
+        a = factory.stream("demand").uniform(size=5)
+        b = factory.stream("demand").uniform(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        factory = RandomStreamFactory(seed=7)
+        a = factory.stream("demand").uniform(size=5)
+        b = factory.stream("queue").uniform(size=5)
+        assert not np.allclose(a, b)
+
+    def test_streams_independent_of_request_order(self):
+        f1 = RandomStreamFactory(seed=3)
+        f1.stream("x")
+        a = f1.stream("y").uniform(size=4)
+        f2 = RandomStreamFactory(seed=3)
+        b = f2.stream("y").uniform(size=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_replication_streams_count_and_independence(self):
+        factory = RandomStreamFactory(seed=1)
+        streams = factory.replication_streams("mc", 4)
+        assert len(streams) == 4
+        draws = [s.uniform() for s in streams]
+        assert len(set(draws)) == 4
+
+    def test_spawn_subfactory_deterministic(self):
+        a = RandomStreamFactory(seed=5).spawn("child").stream("s").uniform()
+        b = RandomStreamFactory(seed=5).spawn("child").stream("s").uniform()
+        assert a == b
+
+    def test_root_entropy_exposed(self):
+        assert RandomStreamFactory(seed=42).root_entropy == (42,)
+
+    def test_tuple_keys_supported(self):
+        factory = RandomStreamFactory(seed=0)
+        a = factory.stream(("rep", 3)).uniform()
+        b = factory.stream(("rep", 4)).uniform()
+        assert a != b
+
+
+class TestHelpers:
+    def test_make_rng_reproducible(self):
+        assert make_rng(9).uniform() == make_rng(9).uniform()
+
+    def test_antithetic_pair_sums_to_one(self, rng):
+        u, v = antithetic_uniforms(rng, 10)
+        np.testing.assert_allclose(u + v, np.ones(10))
+
+    def test_stratified_uniforms_cover_strata(self, rng):
+        size = 16
+        u = stratified_uniforms(rng, size)
+        strata = np.floor(np.sort(u) * size).astype(int)
+        np.testing.assert_array_equal(strata, np.arange(size))
+
+    def test_deterministic_cycle_fixed_rotation(self):
+        assert deterministic_cycle(["a", "b"], 5) == ["a", "b", "a", "b", "a"]
+
+    def test_deterministic_cycle_empty_raises(self):
+        with pytest.raises(ValueError):
+            deterministic_cycle([], 3)

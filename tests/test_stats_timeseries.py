@@ -1,0 +1,115 @@
+"""Tests for repro.stats.timeseries (Figure 1 toolkit)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.stats import (
+    autocorrelation,
+    extrapolate_and_score,
+    fit_ar1,
+    fit_polynomial_trend,
+    forecast_ar1,
+    synthetic_housing_prices,
+)
+
+
+class TestTrendFit:
+    def test_recovers_exact_quadratic(self):
+        t = np.arange(30.0)
+        y = 1.0 + 2.0 * t + 0.5 * t**2
+        model = fit_polynomial_trend(t, y, degree=2)
+        np.testing.assert_allclose(model.predict(t), y, rtol=1e-9)
+
+    def test_degree_property(self):
+        model = fit_polynomial_trend(np.arange(5.0), np.arange(5.0), degree=1)
+        assert model.degree == 1
+
+    def test_too_few_points(self):
+        with pytest.raises(SimulationError):
+            fit_polynomial_trend([0.0, 1.0], [0.0, 1.0], degree=2)
+
+
+class TestSyntheticHousing:
+    def test_shape_and_span(self):
+        years, prices = synthetic_housing_prices()
+        assert years[0] == 1970 and years[-1] == 2011
+        assert prices.shape == years.shape
+        assert np.all(prices > 0)
+
+    def test_bubble_then_collapse(self):
+        years, prices = synthetic_housing_prices(noise_sd=0.0)
+        peak_idx = int(np.argmax(prices))
+        assert years[peak_idx] == 2006
+        assert prices[-1] < prices[peak_idx]
+
+    def test_reproducible(self):
+        _, a = synthetic_housing_prices(seed=3)
+        _, b = synthetic_housing_prices(seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_years(self):
+        with pytest.raises(SimulationError):
+            synthetic_housing_prices(start_year=2000, collapse_year=1990)
+
+
+class TestExtrapolation:
+    def test_figure1_overprediction(self):
+        """The Figure 1 phenomenon: trend fit through 2006 badly
+        over-predicts the post-collapse years."""
+        years, prices = synthetic_housing_prices()
+        report = extrapolate_and_score(years, prices, fit_through=2006)
+        # Prediction should exceed actual in every post-collapse year,
+        # dramatically so by the final horizon year.
+        assert np.all(report.errors > 0)
+        assert report.terminal_gap > 0.4
+
+    def test_no_regime_change_extrapolates_fine(self):
+        t = np.arange(1970.0, 2012.0)
+        y = np.exp(0.03 * (t - 1970.0))  # smooth growth, no collapse
+        report = extrapolate_and_score(t, y, fit_through=2006, degree=2)
+        assert report.max_relative_error < 0.1
+
+    def test_requires_holdout(self):
+        years, prices = synthetic_housing_prices()
+        with pytest.raises(SimulationError):
+            extrapolate_and_score(years, prices, fit_through=2020)
+
+
+class TestAR1:
+    def test_recovers_parameters(self, rng):
+        c_true, phi_true = 1.0, 0.7
+        y = [0.0]
+        for _ in range(5000):
+            y.append(c_true + phi_true * y[-1] + rng.normal(0.0, 0.1))
+        c, phi, sd = fit_ar1(np.asarray(y))
+        assert c == pytest.approx(c_true, abs=0.05)
+        assert phi == pytest.approx(phi_true, abs=0.02)
+        assert sd == pytest.approx(0.1, abs=0.02)
+
+    def test_forecast_converges_to_stationary_mean(self):
+        forecast = forecast_ar1(c=1.0, phi=0.5, last_value=0.0, steps=60)
+        assert forecast[-1] == pytest.approx(2.0, abs=1e-6)
+
+    def test_forecast_validation(self):
+        with pytest.raises(SimulationError):
+            forecast_ar1(1.0, 0.5, 0.0, steps=0)
+
+    def test_fit_needs_three_points(self):
+        with pytest.raises(SimulationError):
+            fit_ar1([1.0, 2.0])
+
+
+class TestAutocorrelation:
+    def test_alternating_series_negative(self):
+        y = np.array([1.0, -1.0] * 20)
+        assert autocorrelation(y, 1) < -0.9
+
+    def test_constant_series_zero(self):
+        assert autocorrelation(np.ones(10), 1) == 0.0
+
+    def test_lag_validation(self):
+        with pytest.raises(SimulationError):
+            autocorrelation(np.arange(5.0), 5)

@@ -1,0 +1,20 @@
+"""Smoke test for the ``python -m repro`` guided tour."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+
+def test_tour_runs_and_mentions_every_layer():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    out = result.stdout
+    for marker in ("[mcdb]", "[indemics]", "[assimilate]", "[caching]"):
+        assert marker in out
+    assert "alpha*" in out
