@@ -2,15 +2,80 @@
 
 Every benchmark regenerates one paper artifact (figure, algorithm, or
 analytical claim), prints the paper-style rows, and persists them under
-``benchmarks/results/`` so EXPERIMENTS.md can cite measured numbers.
+``benchmarks/results/`` so EXPERIMENTS.md can cite measured numbers —
+as text reports (:func:`save_report`) and, for machine consumers such as
+perf-trajectory tooling, as JSON (:func:`save_json`).
+
+Benchmarks take a :class:`BenchConfig` knob: ``quick`` shrinks problem
+sizes so CI can exercise the harness in seconds (the ``--quick`` pytest
+flag, see ``benchmarks/conftest.py``), and ``backend`` selects the
+:mod:`repro.parallel` execution backend for the parallelized hot paths
+(``--bench-backend`` flag or ``REPRO_BENCH_BACKEND`` environment
+variable).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Callable, Dict, Iterable, Sequence, Tuple
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Environment fallbacks for the pytest flags, so plain scripts and the
+#: CI smoke test can steer benchmarks without pytest options.
+QUICK_ENV_VAR = "REPRO_BENCH_QUICK"
+BACKEND_ENV_VAR = "REPRO_BENCH_BACKEND"
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Execution knobs shared by every benchmark script."""
+
+    quick: bool = False
+    backend: str = "serial"
+
+    @classmethod
+    def from_env(cls) -> "BenchConfig":
+        """Resolve the knobs from environment variables."""
+        quick = os.environ.get(QUICK_ENV_VAR, "").lower() in (
+            "1",
+            "true",
+            "yes",
+            "on",
+        )
+        backend = os.environ.get(BACKEND_ENV_VAR, "serial").strip() or "serial"
+        return cls(quick=quick, backend=backend)
+
+
+def timed(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Run ``fn(*args, **kwargs)`` and return ``(result, wall seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def host_info() -> Dict[str, Any]:
+    """Host metadata persisted with measured timings.
+
+    Wall-clock numbers are meaningless without the CPU budget they were
+    measured under — a process-backend "speedup" of 1.0x on a one-core
+    container is expected, not a regression.
+    """
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:
+        usable = os.cpu_count() or 1
+    return {
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def save_report(experiment_id: str, text: str) -> None:
@@ -19,6 +84,19 @@ def save_report(experiment_id: str, text: str) -> None:
     banner = f"==== {experiment_id} ====\n"
     print("\n" + banner + text)
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(banner + text + "\n")
+
+
+def save_json(experiment_id: str, payload: Dict[str, Any]) -> Path:
+    """Persist machine-readable rows to ``benchmarks/results/<id>.json``.
+
+    The payload is wrapped with the experiment id and host metadata so a
+    results file is self-describing; returns the written path.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}.json"
+    document = {"experiment": experiment_id, "host": host_info(), **payload}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def format_table(

@@ -5,13 +5,23 @@ the exact filtering distribution comes from the Kalman filter.  Shape
 checks: RMSE to the exact posterior mean decreases with the particle
 count; the paper's optimal proposal q* improves the effective sample size
 over the bootstrap proposal; SIS *without* resampling collapses.
+
+The convergence sweep runs in the filter's sharded parallel mode through
+the configured :mod:`repro.parallel` backend (``--bench-backend`` /
+``REPRO_BENCH_BACKEND``); ``--quick`` shrinks the horizon and particle
+counts for CI.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from benchmarks._util import format_table, save_report
+from benchmarks._util import (
+    BenchConfig,
+    format_table,
+    save_json,
+    save_report,
+)
 from repro.assimilation import (
     LinearGaussianSSM,
     effective_sample_size,
@@ -37,20 +47,27 @@ def sis_without_resampling(ssm, observations, n, rng):
     return np.asarray(ess)
 
 
-def run_experiment():
+def run_experiment(config: BenchConfig = BenchConfig()):
+    steps = 20 if config.quick else STEPS
+    particle_counts = (25, 100, 400) if config.quick else (25, 100, 400, 1600)
+    seeds = 2 if config.quick else 3
     ssm = LinearGaussianSSM(a=0.9, q=0.5, r=0.5)
-    _, observations = ssm.simulate(STEPS, make_rng(0))
+    _, observations = ssm.simulate(steps, make_rng(0))
     kalman_means, _ = kalman_filter(ssm, observations)
     model = ssm.to_state_space_model()
 
     rows = []
     rmse_by_n = {}
-    for n in (25, 100, 400, 1600):
+    for n in particle_counts:
         errors = []
         ess = []
-        for seed in range(3):
+        for seed in range(seeds):
             result = particle_filter(
-                model, observations, n, make_rng(10 + seed)
+                model,
+                observations,
+                n,
+                backend=config.backend,
+                seed=10 + seed,
             )
             errors.append(
                 float(
@@ -74,9 +91,9 @@ def run_experiment():
     return rows, rmse_by_n, bootstrap, optimal, sis_ess
 
 
-def test_alg2_particle_filter(benchmark):
+def test_alg2_particle_filter(benchmark, bench_config):
     rows, rmse_by_n, bootstrap, optimal, sis_ess = benchmark.pedantic(
-        run_experiment, rounds=1, iterations=1
+        run_experiment, args=(bench_config,), rounds=1, iterations=1
     )
     table = format_table(
         ["particles", "RMSE vs Kalman", "mean ESS"], rows
@@ -97,10 +114,22 @@ def test_alg2_particle_filter(benchmark):
         "(weight collapse the paper's resampling step prevents)"
     )
     save_report("ALG2_particle_filter", table)
+    save_json(
+        "ALG2_particle_filter",
+        {
+            "config": {
+                "quick": bench_config.quick,
+                "backend": bench_config.backend,
+            },
+            "columns": ["particles", "rmse_vs_kalman", "mean_ess"],
+            "rows": [list(row) for row in rows],
+        },
+    )
 
     # Convergence in N toward the exact (Kalman) answer.
-    assert rmse_by_n[1600] < rmse_by_n[25]
-    assert rmse_by_n[1600] < 0.08
+    largest = max(rmse_by_n)
+    assert rmse_by_n[largest] < rmse_by_n[min(rmse_by_n)]
+    assert rmse_by_n[largest] < (0.2 if bench_config.quick else 0.08)
     # The optimal proposal dominates the bootstrap on ESS.
     assert (
         optimal.effective_sample_sizes.mean()

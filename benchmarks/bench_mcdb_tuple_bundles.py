@@ -5,16 +5,24 @@ once, processing 'tuple bundles' rather than ordinary tuples".  The same
 aggregation query over a stochastic table runs both ways at increasing
 Monte Carlo counts.  Shape checks: identical estimates (same seed, same
 distribution), with the bundled path's advantage growing with n_mc.
+
+The naive path's Monte Carlo iterations are independent, so they run
+through the configured :mod:`repro.parallel` backend (``--bench-backend``
+/ ``REPRO_BENCH_BACKEND``); ``--quick`` shrinks table and iteration
+counts for CI.
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
 import pytest
 
-from benchmarks._util import format_table, save_report
+from benchmarks._util import (
+    BenchConfig,
+    format_table,
+    save_json,
+    save_report,
+    timed,
+)
 from repro.engine import Database, Schema
 from repro.mcdb import MonteCarloDatabase, NormalVG, RandomTableSpec
 
@@ -53,17 +61,18 @@ def bundled_query(bundles, _db):
     )
 
 
-def run_experiment():
-    mcdb = build_mcdb()
+def run_experiment(config: BenchConfig = BenchConfig()):
+    num_rows = 40 if config.quick else 150
+    mc_counts = (5, 20) if config.quick else (10, 50, 200)
+    backend = None if config.backend == "serial" else config.backend
+    mcdb = build_mcdb(num_rows)
     rows = []
     speedups = {}
-    for n_mc in (10, 50, 200):
-        start = time.perf_counter()
-        naive = mcdb.run_naive(naive_query, n_mc)
-        naive_time = time.perf_counter() - start
-        start = time.perf_counter()
-        bundled = mcdb.run_bundled(bundled_query, n_mc)
-        bundled_time = time.perf_counter() - start
+    for n_mc in mc_counts:
+        naive, naive_time = timed(
+            mcdb.run_naive, naive_query, n_mc, backend=backend
+        )
+        bundled, bundled_time = timed(mcdb.run_bundled, bundled_query, n_mc)
         speedup = naive_time / bundled_time
         speedups[n_mc] = speedup
         rows.append(
@@ -79,24 +88,36 @@ def run_experiment():
     return rows, speedups
 
 
-def test_mcdb_tuple_bundles(benchmark):
-    rows, speedups = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    table = format_table(
-        [
-            "n_mc",
-            "E[Y] naive",
-            "E[Y] bundled",
-            "naive s",
-            "bundled s",
-            "speedup",
-        ],
-        rows,
+def test_mcdb_tuple_bundles(benchmark, bench_config):
+    rows, speedups = benchmark.pedantic(
+        run_experiment, args=(bench_config,), rounds=1, iterations=1
     )
-    save_report("AN-TB_mcdb_tuple_bundles", table)
+    headers = [
+        "n_mc",
+        "E[Y] naive",
+        "E[Y] bundled",
+        "naive s",
+        "bundled s",
+        "speedup",
+    ]
+    save_report("AN-TB_mcdb_tuple_bundles", format_table(headers, rows))
+    save_json(
+        "AN-TB_mcdb_tuple_bundles",
+        {
+            "config": {
+                "quick": bench_config.quick,
+                "backend": bench_config.backend,
+            },
+            "columns": headers,
+            "rows": [list(row) for row in rows],
+        },
+    )
 
     # Same distribution: expectations agree.
     for row in rows:
         assert row[1] == pytest.approx(row[2], abs=1.0)
     # Bundles win, and the win grows with the Monte Carlo count.
-    assert speedups[200] > 5.0
-    assert speedups[200] > speedups[10]
+    largest = max(speedups)
+    smallest = min(speedups)
+    assert speedups[largest] > (2.0 if bench_config.quick else 5.0)
+    assert speedups[largest] > speedups[smallest]

@@ -1,0 +1,133 @@
+"""BENCH_parallel — serial vs thread vs process execution backends.
+
+Runs two Monte Carlo hot paths — the MCDB naive replication loop and the
+sharded particle filter — once per :mod:`repro.parallel` backend,
+verifying the determinism contract (byte-identical outputs on every
+backend) and recording wall-clock speedup rows to
+``benchmarks/results/BENCH_parallel.json`` for the perf trajectory.
+
+Speedups are only meaningful relative to the recorded host metadata: on
+a one-core container the process backend adds pure overhead; on an
+N-core host the embarrassingly parallel loops approach N×.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._util import (
+    BenchConfig,
+    format_table,
+    host_info,
+    save_json,
+    save_report,
+    timed,
+)
+from benchmarks.bench_mcdb_tuple_bundles import build_mcdb, naive_query
+from repro.assimilation import LinearGaussianSSM, kalman_filter, particle_filter
+from repro.parallel import get_backend
+from repro.stats import make_rng
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _identity(x):
+    return x
+
+
+def _warm_up(backend_name: str) -> None:
+    """Pay pool start-up cost outside the timed region."""
+    get_backend(backend_name).map(_identity, list(range(4)))
+
+
+def _mcdb_workload(config: BenchConfig):
+    num_rows = 40 if config.quick else 150
+    n_mc = 16 if config.quick else 100
+    mcdb = build_mcdb(num_rows)
+
+    def run(backend_name):
+        return mcdb.run_naive(naive_query, n_mc, backend=backend_name).samples
+
+    return f"mcdb_naive(rows={num_rows}, n_mc={n_mc})", run
+
+
+def _particle_filter_workload(config: BenchConfig):
+    steps = 15 if config.quick else 40
+    n_particles = 400 if config.quick else 4000
+    ssm = LinearGaussianSSM(a=0.9, q=0.5, r=0.5)
+    _, observations = ssm.simulate(steps, make_rng(0))
+    model = ssm.to_state_space_model()
+
+    def run(backend_name):
+        result = particle_filter(
+            model,
+            observations,
+            n_particles,
+            backend=backend_name,
+            seed=7,
+        )
+        return result.filtered_means
+
+    return f"particle_filter(steps={steps}, N={n_particles})", run
+
+
+def run_experiment(config: BenchConfig = BenchConfig()):
+    rows = []
+    identical = {}
+    for workload_name, run in (
+        _mcdb_workload(config),
+        _particle_filter_workload(config),
+    ):
+        reference = None
+        serial_time = None
+        for backend_name in BACKENDS:
+            _warm_up(backend_name)
+            output, seconds = timed(run, backend_name)
+            if backend_name == "serial":
+                reference = output
+                serial_time = seconds
+            matches = bool(np.array_equal(reference, output))
+            identical[(workload_name, backend_name)] = matches
+            rows.append(
+                (
+                    workload_name,
+                    backend_name,
+                    seconds,
+                    serial_time / seconds,
+                    matches,
+                )
+            )
+    return rows, identical
+
+
+def test_parallel_backends(benchmark, bench_config):
+    rows, identical = benchmark.pedantic(
+        run_experiment, args=(bench_config,), rounds=1, iterations=1
+    )
+    headers = ["workload", "backend", "seconds", "speedup", "identical"]
+    save_report("BENCH_parallel", format_table(headers, rows))
+    save_json(
+        "BENCH_parallel",
+        {
+            "config": {
+                "quick": bench_config.quick,
+                "backend": bench_config.backend,
+            },
+            "columns": headers,
+            "rows": [list(row) for row in rows],
+            "note": (
+                "speedup is serial_time / backend_time; expect >= 1.5x for "
+                "the process backend only when host.usable_cpus >= 2"
+            ),
+        },
+    )
+
+    # The determinism contract is unconditional: every backend must
+    # reproduce the serial output byte for byte.
+    assert all(identical.values()), identical
+    # The speedup claim is conditional on actually having cores.
+    if host_info()["usable_cpus"] >= 4 and not bench_config.quick:
+        process_speedups = [
+            row[3] for row in rows if row[1] == "process"
+        ]
+        assert max(process_speedups) >= 1.5

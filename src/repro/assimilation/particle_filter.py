@@ -16,7 +16,8 @@ ALG2 benchmark a ground truth to converge to.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,6 +27,8 @@ from repro.assimilation.importance import (
 )
 from repro.assimilation.resampling import get_resampler
 from repro.errors import FilteringError
+from repro.parallel.backend import Backend, get_backend
+from repro.stats.rng import RandomStreamFactory
 
 
 @dataclass
@@ -83,14 +86,52 @@ class FilterResult:
         return int(self.filtered_means.shape[0])
 
 
+def _initial_shard(
+    model: StateSpaceModel, task: Tuple[np.random.SeedSequence, int]
+) -> np.ndarray:
+    """Sample one shard of initial particles on its own stream (picklable)."""
+    seq, count = task
+    return model.initial_sampler(np.random.default_rng(seq), count)
+
+
+def _propose_shard(
+    model: StateSpaceModel,
+    proposal: Optional[Proposal],
+    observation: Any,
+    task: Tuple[np.ndarray, np.random.SeedSequence],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Propose + weight one particle shard (steps 6-9 for a sub-population).
+
+    Module-level so the closure pickles for the process backend; the
+    shard's stream comes pre-spawned from the driver, which is what makes
+    the fan-out byte-identical on every backend.
+    """
+    states, seq = task
+    rng = np.random.default_rng(seq)
+    if proposal is None:
+        proposed = model.transition_sampler(states, rng)
+        log_w = model.observation_log_density(proposed, observation)
+    else:
+        proposed = proposal.sampler(states, observation, rng)
+        log_w = (
+            model.observation_log_density(proposed, observation)
+            + model.transition_log_density(proposed, states)
+            - proposal.log_density(proposed, states, observation)
+        )
+    return proposed, log_w
+
+
 def particle_filter(
     model: StateSpaceModel,
     observations: Sequence[Any],
     n_particles: int,
-    rng: np.random.Generator,
+    rng: Optional[np.random.Generator] = None,
     proposal: Optional[Proposal] = None,
     resampler: str = "systematic",
     summarizer: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    backend: Union[str, Backend, None] = None,
+    seed: Optional[int] = None,
+    n_shards: int = 8,
 ) -> FilterResult:
     """Algorithm 2 of the paper.
 
@@ -103,6 +144,15 @@ def particle_filter(
     ``summarizer`` maps the particle array to per-particle scalars (or
     vectors) whose weighted mean forms ``filtered_means``; the default
     averages the raw state.
+
+    Execution modes: the legacy mode (``backend=None``) threads ``rng``
+    through every sampling call sequentially.  With a ``backend`` (and a
+    required ``seed``), the population is split into ``n_shards`` fixed
+    shards whose proposal sampling and weighting fan out across workers,
+    each shard on its own per-step pre-spawned stream; normalization and
+    resampling stay global.  Because the shard layout and streams depend
+    only on ``(seed, n_shards, n_particles)`` — never on the backend or
+    worker count — every backend produces byte-identical results.
     """
     if n_particles < 2:
         raise FilteringError("need at least two particles")
@@ -113,18 +163,65 @@ def particle_filter(
         raise FilteringError(
             "custom proposals require the model's transition_log_density"
         )
+    parallel = backend is not None
+    if parallel:
+        if seed is None:
+            raise FilteringError(
+                "parallel particle_filter needs an explicit integer seed "
+                "(per-shard streams are spawned from it)"
+            )
+        if n_shards < 1:
+            raise FilteringError("n_shards must be >= 1")
+        executor = get_backend(backend)
+        factory = RandomStreamFactory(seed)
+        shard_count = min(n_shards, n_particles)
+        shard_sizes = [
+            block.size
+            for block in np.array_split(np.arange(n_particles), shard_count)
+        ]
+    elif rng is None:
+        raise FilteringError(
+            "sequential particle_filter needs an rng (or pass a backend "
+            "plus seed)"
+        )
     resample = get_resampler(resampler)
     summarize = summarizer if summarizer is not None else (lambda x: x)
 
     # Step 1: particles at time 0 (before the first observation).
-    particles = model.initial_sampler(rng, n_particles)
+    if parallel:
+        particles = np.concatenate(
+            executor.map(
+                partial(_initial_shard, model),
+                [
+                    (factory.sequence(("pf", "init", s)), size)
+                    for s, size in enumerate(shard_sizes)
+                ],
+            ),
+            axis=0,
+        )
+    else:
+        particles = model.initial_sampler(rng, n_particles)
     means: List[np.ndarray] = []
     ess_series: List[float] = []
     log_likelihood = 0.0
 
     for step, observation in enumerate(observations):
         # Steps 6-9: propose and weight.
-        if proposal is None:
+        if parallel:
+            shard_results = executor.map(
+                partial(_propose_shard, model, proposal, observation),
+                [
+                    (shard, factory.sequence(("pf", "step", step, s)))
+                    for s, shard in enumerate(
+                        np.array_split(particles, shard_count, axis=0)
+                    )
+                ],
+            )
+            proposed = np.concatenate(
+                [r[0] for r in shard_results], axis=0
+            )
+            log_w = np.concatenate([r[1] for r in shard_results])
+        elif proposal is None:
             proposed = model.transition_sampler(particles, rng)
             log_w = model.observation_log_density(proposed, observation)
         else:
@@ -151,8 +248,13 @@ def particle_filter(
         else:
             means.append(weights @ summary)
         ess_series.append(effective_sample_size(weights))
-        # Steps 4/11: resample to equal weights.
-        indices = resample(weights, rng)
+        # Steps 4/11: resample to equal weights.  Resampling is global (it
+        # couples all particles), so it runs in the driver; in parallel
+        # mode it draws from its own per-step stream.
+        resample_rng = (
+            factory.stream(("pf", "resample", step)) if parallel else rng
+        )
+        indices = resample(weights, resample_rng)
         particles = proposed[indices]
 
     return FilterResult(
@@ -193,55 +295,67 @@ class LinearGaussianSSM:
         return x, y
 
     def to_state_space_model(self) -> StateSpaceModel:
-        """Adapt to the generic particle-filter interface."""
+        """Adapt to the generic particle-filter interface.
 
-        def initial_sampler(rng: np.random.Generator, n: int) -> np.ndarray:
-            return rng.normal(
-                self.initial_mean, np.sqrt(self.initial_var), size=n
-            )
-
-        def transition_sampler(states, rng):
-            return self.a * states + rng.normal(
-                0, np.sqrt(self.q), size=states.shape
-            )
-
-        def observation_log_density(states, observation):
-            resid = observation - self.c * states
-            return -0.5 * resid**2 / self.r - 0.5 * np.log(
-                2 * np.pi * self.r
-            )
-
-        def transition_log_density(next_states, states):
-            resid = next_states - self.a * states
-            return -0.5 * resid**2 / self.q - 0.5 * np.log(
-                2 * np.pi * self.q
-            )
-
+        The callables are partials of module-level functions over this
+        (frozen, picklable) dataclass, so the resulting model ships to
+        process-backend workers intact.
+        """
         return StateSpaceModel(
-            initial_sampler=initial_sampler,
-            transition_sampler=transition_sampler,
-            observation_log_density=observation_log_density,
-            transition_log_density=transition_log_density,
+            initial_sampler=partial(_lg_initial_sampler, self),
+            transition_sampler=partial(_lg_transition_sampler, self),
+            observation_log_density=partial(_lg_observation_log_density, self),
+            transition_log_density=partial(_lg_transition_log_density, self),
         )
 
     def optimal_proposal(self) -> Proposal:
         """The paper's ``q*_n ∝ p(x_n|x_{n-1}) p(y_n|x_n)``.
 
         For the linear-Gaussian case this is the exact conditional
-        ``N(mu, s)`` with precision ``1/q + c^2/r``.
+        ``N(mu, s)`` with precision ``1/q + c^2/r``; like the model
+        adapter, picklable for process-backend execution.
         """
-        s = 1.0 / (1.0 / self.q + self.c**2 / self.r)
+        return Proposal(
+            sampler=partial(_lg_proposal_sampler, self),
+            log_density=partial(_lg_proposal_log_density, self),
+        )
 
-        def sampler(states, observation, rng):
-            mu = s * (self.a * states / self.q + self.c * observation / self.r)
-            return mu + rng.normal(0, np.sqrt(s), size=states.shape)
+    @property
+    def _proposal_var(self) -> float:
+        return 1.0 / (1.0 / self.q + self.c**2 / self.r)
 
-        def log_density(proposed, states, observation):
-            mu = s * (self.a * states / self.q + self.c * observation / self.r)
-            resid = proposed - mu
-            return -0.5 * resid**2 / s - 0.5 * np.log(2 * np.pi * s)
 
-        return Proposal(sampler=sampler, log_density=log_density)
+def _lg_initial_sampler(
+    ssm: LinearGaussianSSM, rng: np.random.Generator, n: int
+) -> np.ndarray:
+    return rng.normal(ssm.initial_mean, np.sqrt(ssm.initial_var), size=n)
+
+
+def _lg_transition_sampler(ssm: LinearGaussianSSM, states, rng):
+    return ssm.a * states + rng.normal(0, np.sqrt(ssm.q), size=states.shape)
+
+
+def _lg_observation_log_density(ssm: LinearGaussianSSM, states, observation):
+    resid = observation - ssm.c * states
+    return -0.5 * resid**2 / ssm.r - 0.5 * np.log(2 * np.pi * ssm.r)
+
+
+def _lg_transition_log_density(ssm: LinearGaussianSSM, next_states, states):
+    resid = next_states - ssm.a * states
+    return -0.5 * resid**2 / ssm.q - 0.5 * np.log(2 * np.pi * ssm.q)
+
+
+def _lg_proposal_sampler(ssm: LinearGaussianSSM, states, observation, rng):
+    s = ssm._proposal_var
+    mu = s * (ssm.a * states / ssm.q + ssm.c * observation / ssm.r)
+    return mu + rng.normal(0, np.sqrt(s), size=states.shape)
+
+
+def _lg_proposal_log_density(ssm: LinearGaussianSSM, proposed, states, observation):
+    s = ssm._proposal_var
+    mu = s * (ssm.a * states / ssm.q + ssm.c * observation / ssm.r)
+    resid = proposed - mu
+    return -0.5 * resid**2 / s - 0.5 * np.log(2 * np.pi * s)
 
 
 def kalman_filter(

@@ -11,14 +11,35 @@ costs across methods.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import CalibrationError
+from repro.parallel.backend import Backend, get_backend
 
 Objective = Callable[[np.ndarray], float]
 Bounds = Sequence[Tuple[float, float]]
+BackendSpec = Union[str, Backend, None]
+
+
+def _evaluate_batch(
+    objective: Objective,
+    points: Sequence[np.ndarray],
+    backend: BackendSpec,
+) -> List[float]:
+    """Evaluate independent candidate vectors, in order.
+
+    Simulation-driven objectives dominate calibration cost, so batched
+    phases (initial simplex, GA generations, random-search candidate
+    pools) fan out across a :mod:`repro.parallel` backend.  The objective
+    receives no RNG — it must be a pure function of the candidate — so
+    batching never perturbs the optimizer's own random stream and results
+    are identical to inline evaluation.
+    """
+    if backend is None:
+        return [float(objective(point)) for point in points]
+    return [float(v) for v in get_backend(backend).map(objective, list(points))]
 
 
 @dataclass
@@ -47,11 +68,14 @@ def nelder_mead(
     max_iterations: int = 200,
     initial_step: float = 0.1,
     tolerance: float = 1e-8,
+    backend: BackendSpec = None,
 ) -> OptimizationResult:
     """The Nelder-Mead downhill simplex with standard coefficients.
 
     Reflection 1, expansion 2, contraction 0.5, shrink 0.5.  Bounds are
-    enforced by clipping candidate vertices.
+    enforced by clipping candidate vertices.  ``backend`` parallelizes
+    the batched phases (initial simplex, shrink steps); the sequential
+    reflect/expand/contract probes are inherently serial.
     """
     x0 = np.asarray(initial, dtype=float)
     n = x0.size
@@ -71,7 +95,10 @@ def nelder_mead(
         step = initial_step * (abs(vertex[i]) if vertex[i] != 0 else 1.0)
         vertex[i] += step
         simplex.append(vertex)
-    values = [f(v) for v in simplex]
+    values = _evaluate_batch(
+        objective, [_clip_to_bounds(v, bounds) for v in simplex], backend
+    )
+    evaluations += len(simplex)
 
     iterations = 0
     for iterations in range(1, max_iterations + 1):
@@ -100,11 +127,16 @@ def nelder_mead(
         if f_contracted < values[-1]:
             simplex[-1], values[-1] = contracted, f_contracted
             continue
-        # Shrink toward the best vertex.
+        # Shrink toward the best vertex (n independent evaluations).
         best = simplex[0]
         for i in range(1, n + 1):
             simplex[i] = best + 0.5 * (simplex[i] - best)
-            values[i] = f(simplex[i])
+        values[1:] = _evaluate_batch(
+            objective,
+            [_clip_to_bounds(v, bounds) for v in simplex[1:]],
+            backend,
+        )
+        evaluations += n
 
     best_index = int(np.argmin(values))
     best_x = _clip_to_bounds(simplex[best_index], bounds)
@@ -126,11 +158,15 @@ def genetic_algorithm(
     mutation_rate: float = 0.2,
     mutation_scale: float = 0.1,
     elite_count: int = 2,
+    backend: BackendSpec = None,
 ) -> OptimizationResult:
     """A real-coded genetic algorithm with tournament selection.
 
     Blend (BLX-style) crossover, Gaussian mutation scaled to the bound
-    ranges, and elitism.  Minimizes ``objective`` over a box.
+    ranges, and elitism.  Minimizes ``objective`` over a box.  Each
+    generation's fitness evaluations are independent and fan out across
+    ``backend``; selection and variation (the only RNG consumers) stay in
+    the driver, so results match serial execution exactly.
     """
     bounds = list(bounds)
     n = len(bounds)
@@ -147,13 +183,9 @@ def genetic_algorithm(
     spans = highs - lows
     evaluations = 0
 
-    def f(x: np.ndarray) -> float:
-        nonlocal evaluations
-        evaluations += 1
-        return float(objective(x))
-
     population = lows + rng.uniform(size=(population_size, n)) * spans
-    fitness = np.array([f(ind) for ind in population])
+    fitness = np.array(_evaluate_batch(objective, list(population), backend))
+    evaluations += population_size
 
     def tournament() -> np.ndarray:
         a, b = rng.integers(0, population_size, size=2)
@@ -178,7 +210,10 @@ def genetic_algorithm(
             )
             next_population.append(np.clip(child, lows, highs))
         population = np.array(next_population)
-        fitness = np.array([f(ind) for ind in population])
+        fitness = np.array(
+            _evaluate_batch(objective, list(population), backend)
+        )
+        evaluations += population_size
 
     best = int(np.argmin(fitness))
     return OptimizationResult(
@@ -194,20 +229,27 @@ def random_search(
     bounds: Bounds,
     rng: np.random.Generator,
     evaluations: int = 100,
+    backend: BackendSpec = None,
 ) -> OptimizationResult:
     """Uniform random sampling of theta — the straw man the paper says
-    heuristic methods are "a vast improvement over"."""
+    heuristic methods are "a vast improvement over".
+
+    All candidates are drawn up front (the objective never consumes the
+    RNG, so the draw sequence matches the historical draw-evaluate
+    interleaving exactly) and evaluated through ``backend``.
+    """
     bounds = list(bounds)
     lows = np.array([lo for lo, _ in bounds])
     highs = np.array([hi for _, hi in bounds])
-    best_x = None
-    best_value = np.inf
-    for _ in range(evaluations):
-        x = lows + rng.uniform(size=len(bounds)) * (highs - lows)
-        value = float(objective(x))
-        if value < best_value:
-            best_value = value
-            best_x = x
+    candidates = [
+        lows + rng.uniform(size=len(bounds)) * (highs - lows)
+        for _ in range(evaluations)
+    ]
+    values = _evaluate_batch(objective, candidates, backend)
+    best = int(np.argmin(values))  # first minimum, like the strict < scan
     return OptimizationResult(
-        x=best_x, value=best_value, evaluations=evaluations, iterations=1
+        x=candidates[best],
+        value=values[best],
+        evaluations=evaluations,
+        iterations=1,
     )

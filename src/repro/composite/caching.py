@@ -32,12 +32,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from functools import partial
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from repro.composite.model import ComponentModel, RunRecord
 from repro.errors import SimulationError
+from repro.parallel.backend import Backend, get_backend
+from repro.stats.rng import task_seed_sequences
 
 
 @dataclass(frozen=True)
@@ -128,13 +131,27 @@ class CachingRunResult:
         return float(self.samples.var(ddof=1)) if self.samples.size > 1 else 0.0
 
 
+def _m1_replication(m1, transform, seq):
+    """One cached-model run on its own pre-spawned stream (picklable)."""
+    y1 = m1.run(None, np.random.default_rng(seq))
+    return transform(y1) if transform is not None else y1
+
+
+def _m2_replication(m2, task):
+    """One downstream run: ``task`` is ``(cached Y1, seed sequence)``."""
+    y1, seq = task
+    return float(m2.run(y1, np.random.default_rng(seq)))
+
+
 def run_with_caching(
     m1: ComponentModel,
     m2: ComponentModel,
     n: int,
     alpha: float,
-    rng: np.random.Generator,
+    rng: Optional[np.random.Generator],
     transform=None,
+    backend: Union[str, Backend, None] = None,
+    seed: Optional[int] = None,
 ) -> CachingRunResult:
     """Estimate ``E[Y2]`` with the RC strategy at replication fraction ``alpha``.
 
@@ -143,21 +160,53 @@ def run_with_caching(
     of ``m2``.  ``transform`` optionally post-processes each ``Y1`` before
     it is fed to ``m2`` (Splash's data transformation step; its cost is
     considered part of ``c1``).
+
+    Two execution modes exist.  The legacy mode (``backend=None``) threads
+    the single generator ``rng`` through every run sequentially.  The
+    parallel mode (``backend`` given) requires ``seed`` instead: every
+    ``m1``/``m2`` replication draws from its own pre-spawned stream, so
+    replications fan out across workers with byte-identical results on
+    every backend (run ``backend="serial"`` to see the exact same numbers
+    in one process).
     """
     m_n = replication_counts(n, alpha)
-    cache = []
-    for _ in range(m_n):
-        y1 = m1.run(None, rng)
-        if transform is not None:
-            y1 = transform(y1)
-        cache.append(y1)
-    samples = np.empty(n)
-    for i in range(n):
-        samples[i] = float(m2.run(cache[i % m_n], rng))
+    if backend is not None:
+        if seed is None:
+            raise SimulationError(
+                "parallel run_with_caching needs an explicit integer seed "
+                "(per-replication streams are spawned from it)"
+            )
+        executor = get_backend(backend)
+        cache = executor.map(
+            partial(_m1_replication, m1, transform),
+            task_seed_sequences(seed, "rc-m1", m_n),
+        )
+        m2_seqs = task_seed_sequences(seed, "rc-m2", n)
+        samples = np.asarray(
+            executor.map(
+                partial(_m2_replication, m2),
+                [(cache[i % m_n], m2_seqs[i]) for i in range(n)],
+            )
+        )
+    else:
+        if rng is None:
+            raise SimulationError(
+                "sequential run_with_caching needs an rng (or pass a "
+                "backend plus seed)"
+            )
+        cache = []
+        for _ in range(m_n):
+            y1 = m1.run(None, rng)
+            if transform is not None:
+                y1 = transform(y1)
+            cache.append(y1)
+        samples = np.empty(n)
+        for i in range(n):
+            samples[i] = float(m2.run(cache[i % m_n], rng))
     total_cost = m_n * m1.cost + n * m2.cost
     return CachingRunResult(
         estimate=float(samples.mean()),
-        samples=samples,
+        samples=np.asarray(samples, dtype=float),
         m1_runs=m_n,
         m2_runs=n,
         total_cost=total_cost,
@@ -233,6 +282,18 @@ def estimate_statistics(
     return CompositeStatistics(c1=m1.cost, c2=m2.cost, v1=v1, v2=min(v2, v1))
 
 
+def _variance_replication(m1, m2, budget, alpha, transform, seed, k):
+    """Replication ``k`` of the budget-constrained procedure (picklable).
+
+    The stream depends only on ``(seed, k)``, so replication ``k`` draws
+    the same values on any backend, any worker, in any completion order.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(k,))
+    )
+    return budget_constrained_run(m1, m2, budget, alpha, rng, transform).estimate
+
+
 def measure_estimator_variance(
     m1: ComponentModel,
     m2: ComponentModel,
@@ -241,6 +302,7 @@ def measure_estimator_variance(
     replications: int,
     seed: int = 0,
     transform=None,
+    backend: Union[str, Backend, None] = None,
 ) -> Tuple[float, float]:
     """Empirical mean and work-normalized variance of ``U(c)``.
 
@@ -248,14 +310,18 @@ def measure_estimator_variance(
     with independent streams; returns ``(mean estimate, c * Var[U(c)])``.
     The second value estimates ``g(alpha)`` (since
     ``Var[U(c)] ~ g(alpha)/c``), directly comparable to :func:`g_exact`.
+
+    Replications already use independent per-``k`` streams, so they fan
+    out across any :mod:`repro.parallel` backend with results
+    byte-identical to the serial loop.
     """
     if replications < 2:
         raise SimulationError("need >= 2 replications")
-    estimates = np.empty(replications)
-    for k in range(replications):
-        rng = np.random.default_rng(
-            np.random.SeedSequence(entropy=seed, spawn_key=(k,))
+    executor = get_backend(backend)
+    estimates = np.asarray(
+        executor.map(
+            partial(_variance_replication, m1, m2, budget, alpha, transform, seed),
+            range(replications),
         )
-        result = budget_constrained_run(m1, m2, budget, alpha, rng, transform)
-        estimates[k] = result.estimate
+    )
     return float(estimates.mean()), float(budget * estimates.var(ddof=1))

@@ -35,6 +35,22 @@ class JobCounters:
         self.records_shuffled += 1
         self.shuffle_bytes += _approximate_size(key) + _approximate_size(value)
 
+    def absorb(self, other: "JobCounters") -> None:
+        """Add another task's counters into this one, in place.
+
+        The parallel runtime gives every map/reduce task a private
+        ``JobCounters`` and absorbs them in task order, so totals are
+        identical no matter which backend (or worker) ran each task.
+        """
+        self.records_read += other.records_read
+        self.records_mapped += other.records_mapped
+        self.records_shuffled += other.records_shuffled
+        self.shuffle_bytes += other.shuffle_bytes
+        self.records_reduced += other.records_reduced
+        self.records_written += other.records_written
+        for name, count in other.custom.items():
+            self.increment(name, count)
+
     def merge(self, other: "JobCounters") -> "JobCounters":
         """Combine counters from two jobs (for multi-job pipelines)."""
         merged = JobCounters(

@@ -8,28 +8,76 @@ This is the substrate on which SimSQL query execution
 (:mod:`repro.simsql.mapreduce_exec`), Splash time alignment
 (:mod:`repro.harmonize.time_alignment`) and DSGD
 (:mod:`repro.harmonize.dsgd`) run.
+
+Map tasks and reduce partitions are independent by construction, so the
+cluster fans them out through a :mod:`repro.parallel` backend.  Each task
+accumulates its own :class:`JobCounters`; the driver merges them in task
+order, so counters (and outputs) are identical whichever backend runs the
+job.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+import zlib
+from functools import partial
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.mapreduce.counters import JobCounters
 from repro.mapreduce.job import KeyValue, MapReduceJob
+from repro.parallel.backend import Backend, get_backend
 
 
 def _partition_index(key: Any, num_partitions: int) -> int:
     """Deterministic key-to-partition assignment.
 
-    Uses a stable string-based hash so results do not depend on Python's
-    per-process hash randomization.
+    CRC-32 over the key's repr: stable across processes (no hash
+    randomization) and a single C-speed pass instead of a per-character
+    Python loop.
     """
-    text = repr(key)
-    acc = 0
-    for ch in text:
-        acc = (acc * 31 + ord(ch)) % 1_000_000_007
-    return acc % num_partitions
+    return zlib.crc32(repr(key).encode("utf-8")) % num_partitions
+
+
+def _run_map_task(
+    job: MapReduceJob, split: List[KeyValue]
+) -> Tuple[List[KeyValue], JobCounters]:
+    """One map task: apply the mapper (and local combiner) to one split.
+
+    Module-level (not a method) so the closure pickles for the process
+    backend; returns the task's own counters for deterministic merging.
+    """
+    counters = JobCounters()
+    out: List[KeyValue] = []
+    for key, value in split:
+        for pair in job.mapper(key, value):
+            counters.records_mapped += 1
+            out.append(pair)
+    if job.combiner is None:
+        return out, counters
+    # Combiner runs locally per map task, on that task's output only.
+    grouped: Dict[Any, List[Any]] = {}
+    order: List[Any] = []
+    for key, value in out:
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(value)
+    combined: List[KeyValue] = []
+    for key in order:
+        combined.extend(job.combiner(key, grouped[key]))
+    return combined, counters
+
+
+def _run_reduce_task(
+    job: MapReduceJob, partition: List[Tuple[Any, List[Any]]]
+) -> Tuple[List[KeyValue], JobCounters]:
+    """One reduce task: apply the reducer to one shuffled partition."""
+    counters = JobCounters()
+    out: List[KeyValue] = []
+    for key, values in partition:
+        counters.records_reduced += len(values)
+        out.extend(job.reducer(key, values))
+    return out, counters
 
 
 class Cluster:
@@ -39,6 +87,12 @@ class Cluster:
     ----------
     num_workers:
         Number of map slots; inputs are split round-robin across workers.
+    backend:
+        Execution backend for map tasks and reduce partitions — a
+        :class:`~repro.parallel.backend.Backend`, a backend name, or
+        ``None`` to resolve from the ``REPRO_BACKEND`` environment
+        variable (default ``serial``).  Outputs and counters are
+        identical for every backend.
 
     Examples
     --------
@@ -51,10 +105,15 @@ class Cluster:
     [('a', 2), ('b', 1)]
     """
 
-    def __init__(self, num_workers: int = 4) -> None:
+    def __init__(
+        self,
+        num_workers: int = 4,
+        backend: Union[str, Backend, None] = None,
+    ) -> None:
         if num_workers < 1:
             raise SimulationError("cluster needs at least one worker")
         self.num_workers = num_workers
+        self.backend = get_backend(backend)
         self.history: List[Tuple[str, JobCounters]] = []
 
     # -- public API ---------------------------------------------------------
@@ -63,17 +122,32 @@ class Cluster:
         job: MapReduceJob,
         inputs: Iterable[KeyValue],
         counters: Optional[JobCounters] = None,
+        num_reducers: Optional[int] = None,
     ) -> List[KeyValue]:
-        """Execute one job over ``inputs`` and return the reduce output."""
+        """Execute one job over ``inputs`` and return the reduce output.
+
+        ``num_reducers`` overrides the job's configured reducer count for
+        this run only, without mutating the (frozen) job.
+        """
         counters = counters if counters is not None else JobCounters()
+        if num_reducers is None:
+            num_reducers = job.num_reducers
+        if num_reducers < 1:
+            raise SimulationError("num_reducers must be >= 1")
         splits = self._split(list(inputs), counters)
-        map_outputs = [
-            self._run_map_task(job, split, counters) for split in splits
-        ]
-        partitions = self._shuffle(job, map_outputs, counters)
+        map_outputs: List[List[KeyValue]] = []
+        for task_output, task_counters in self.backend.map(
+            partial(_run_map_task, job), splits
+        ):
+            map_outputs.append(task_output)
+            counters.absorb(task_counters)
+        partitions = self._shuffle(job, map_outputs, counters, num_reducers)
         output: List[KeyValue] = []
-        for partition in partitions:
-            output.extend(self._run_reduce_task(job, partition, counters))
+        for task_output, task_counters in self.backend.map(
+            partial(_run_reduce_task, job), partitions
+        ):
+            output.extend(task_output)
+            counters.absorb(task_counters)
         counters.records_written += len(output)
         self.history.append((job.name, counters))
         return output
@@ -88,12 +162,12 @@ class Cluster:
         Returns the final output along with merged counters over all stages.
         """
         total = JobCounters()
-        current: Iterable[KeyValue] = inputs
+        current: List[KeyValue] = list(inputs)
         for job in jobs:
             stage_counters = JobCounters()
             current = self.run(job, current, stage_counters)
             total = total.merge(stage_counters)
-        return list(current), total
+        return current, total
 
     def last_counters(self) -> JobCounters:
         """Counters of the most recently executed job."""
@@ -111,60 +185,29 @@ class Cluster:
             splits[i % self.num_workers].append(record)
         return [s for s in splits if s]
 
-    def _run_map_task(
-        self,
-        job: MapReduceJob,
-        split: List[KeyValue],
-        counters: JobCounters,
-    ) -> List[KeyValue]:
-        out: List[KeyValue] = []
-        for key, value in split:
-            for pair in job.mapper(key, value):
-                counters.records_mapped += 1
-                out.append(pair)
-        if job.combiner is None:
-            return out
-        # Combiner runs locally per map task, on that task's output only.
-        grouped: Dict[Any, List[Any]] = {}
-        order: List[Any] = []
-        for key, value in out:
-            if key not in grouped:
-                grouped[key] = []
-                order.append(key)
-            grouped[key].append(value)
-        combined: List[KeyValue] = []
-        for key in order:
-            combined.extend(job.combiner(key, grouped[key]))
-        return combined
-
     def _shuffle(
         self,
         job: MapReduceJob,
         map_outputs: List[List[KeyValue]],
         counters: JobCounters,
+        num_reducers: int,
     ) -> List[List[Tuple[Any, List[Any]]]]:
         partitions: List[Dict[Any, List[Any]]] = [
-            {} for _ in range(job.num_reducers)
+            {} for _ in range(num_reducers)
         ]
+        # Keys repeat heavily in typical shuffles; memoize the partition
+        # index per shuffle so each distinct key is hashed once.
+        index_cache: Dict[Any, int] = {}
         for task_output in map_outputs:
             for key, value in task_output:
                 counters.account_shuffle(key, value)
-                bucket = partitions[_partition_index(key, job.num_reducers)]
-                bucket.setdefault(key, []).append(value)
+                index = index_cache.get(key)
+                if index is None:
+                    index = _partition_index(key, num_reducers)
+                    index_cache[key] = index
+                partitions[index].setdefault(key, []).append(value)
         # Keys are sorted within each partition, mirroring Hadoop's sort.
         return [
             sorted(p.items(), key=lambda kv: repr(kv[0]))
             for p in partitions
         ]
-
-    def _run_reduce_task(
-        self,
-        job: MapReduceJob,
-        partition: List[Tuple[Any, List[Any]]],
-        counters: JobCounters,
-    ) -> List[KeyValue]:
-        out: List[KeyValue] = []
-        for key, values in partition:
-            counters.records_reduced += len(values)
-            out.extend(job.reducer(key, values))
-        return out

@@ -20,8 +20,10 @@ Both strategies sample the same distributions; the benchmark
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -29,6 +31,7 @@ from repro.engine.catalog import Database
 from repro.errors import SimulationError
 from repro.mcdb.random_table import RandomTableSpec
 from repro.mcdb.tuple_bundle import BundledTable
+from repro.parallel.backend import Backend, get_backend
 from repro.stats.estimators import (
     ConfidenceInterval,
     mean_confidence_interval,
@@ -141,49 +144,79 @@ class MonteCarloDatabase:
         self,
         query: Callable[[Database], float],
         n_mc: int,
+        backend: Union[str, Backend, None] = None,
     ) -> QueryDistribution:
         """Execute ``query`` on ``n_mc`` fresh database instances.
 
         ``query`` receives an instantiated database and returns a scalar;
         the collected values are samples of the query-result distribution.
+
+        Each iteration already draws from its own ``(seed, i)`` stream, so
+        iterations are independent tasks: ``backend`` fans them out across
+        a :mod:`repro.parallel` backend with samples byte-identical to the
+        serial loop (``backend=None``).
         """
         if n_mc < 1:
             raise SimulationError("n_mc must be >= 1")
-        samples = np.empty(n_mc)
-        for i in range(n_mc):
-            instance = self.instantiate(self._rng_for(i))
-            samples[i] = float(query(instance))
+        if backend is not None:
+            samples = np.asarray(
+                get_backend(backend).map(
+                    partial(_naive_iteration, self, query), range(n_mc)
+                )
+            )
+        else:
+            samples = np.empty(n_mc)
+            for i in range(n_mc):
+                instance = self.instantiate(self._rng_for(i))
+                samples[i] = float(query(instance))
         return QueryDistribution(samples)
 
     # -- bundled execution ---------------------------------------------------
-    def instantiate_bundles(self, n_mc: int) -> Dict[str, BundledTable]:
-        """Generate tuple bundles (all MC iterations at once) per table."""
+    def _bundle_rng_for(self, name: str) -> np.random.Generator:
+        # Each random table draws from its own dedicated stream.  The
+        # stream key must not use builtin ``hash`` (randomized per
+        # process); CRC-32 of the table name is stable everywhere.
+        return np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=self.seed,
+                spawn_key=(zlib.crc32(name.encode("utf-8")),),
+            )
+        )
+
+    def instantiate_bundles(
+        self, n_mc: int, backend: Union[str, Backend, None] = None
+    ) -> Dict[str, BundledTable]:
+        """Generate tuple bundles (all MC iterations at once) per table.
+
+        Tables use dedicated streams, so multi-table schemas instantiate
+        their bundles concurrently through ``backend`` with identical
+        results to the serial path.
+        """
         if n_mc < 1:
             raise SimulationError("n_mc must be >= 1")
-        bundles = {}
-        for name, spec in self._specs.items():
-            # Each random table draws from its own dedicated stream.
-            rng = np.random.default_rng(
-                np.random.SeedSequence(
-                    entropy=self.seed,
-                    spawn_key=(abs(hash(name)) % (2**31),),
-                )
+        names = sorted(self._specs)
+        if backend is not None:
+            tables = get_backend(backend).map(
+                partial(_bundle_for_table, self, n_mc), names
             )
-            bundles[name] = spec.instantiate_bundle(self.db, rng, n_mc)
-        return bundles
+        else:
+            tables = [_bundle_for_table(self, n_mc, name) for name in names]
+        return dict(zip(names, tables))
 
     def run_bundled(
         self,
         query: Callable[[Dict[str, BundledTable], Database], np.ndarray],
         n_mc: int,
+        backend: Union[str, Backend, None] = None,
     ) -> QueryDistribution:
         """Execute a bundle-aware ``query`` exactly once.
 
         ``query`` receives the bundles plus the deterministic database and
         returns an array of length ``n_mc`` (one query-result sample per
-        iteration).
+        iteration).  ``backend`` parallelizes bundle instantiation across
+        random tables.
         """
-        bundles = self.instantiate_bundles(n_mc)
+        bundles = self.instantiate_bundles(n_mc, backend=backend)
         samples = np.asarray(query(bundles, self.db), dtype=float)
         if samples.shape != (n_mc,):
             raise SimulationError(
@@ -191,3 +224,23 @@ class MonteCarloDatabase:
                 f"expected ({n_mc},)"
             )
         return QueryDistribution(samples)
+
+
+def _naive_iteration(
+    mcdb: MonteCarloDatabase, query: Callable[[Database], float], i: int
+) -> float:
+    """Monte Carlo iteration ``i`` of the naive path (picklable task).
+
+    Draws from the same ``(seed, i)`` stream as the serial loop, so the
+    sample is identical wherever the task runs.
+    """
+    return float(query(mcdb.instantiate(mcdb._rng_for(i))))
+
+
+def _bundle_for_table(
+    mcdb: MonteCarloDatabase, n_mc: int, name: str
+) -> BundledTable:
+    """Instantiate one random table's bundle on its dedicated stream."""
+    return mcdb._specs[name].instantiate_bundle(
+        mcdb.db, mcdb._bundle_rng_for(name), n_mc
+    )

@@ -1,0 +1,258 @@
+"""Executor backends: serial, thread pool, and process pool.
+
+All backends implement one operation — an *ordered* ``map`` — because
+every parallel workload in the library (map tasks, reduce partitions,
+Monte Carlo replications, particle shards, candidate parameter vectors)
+is a fan-out of independent tasks whose results must be merged in a
+fixed order for determinism.
+
+The process backend submits tasks in contiguous chunks (amortizing
+pickle + IPC overhead over many small tasks) and requires picklable task
+closures; when a task function or its payload cannot be pickled — e.g. a
+lambda mapper defined inside a test — it degrades gracefully to in-process
+execution rather than failing, so a globally configured
+``REPRO_BACKEND=process`` never breaks a workload.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import warnings
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SimulationError
+
+#: Environment variable naming the default backend for the whole library.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+#: Environment variable overriding the worker count of pooled backends.
+WORKERS_ENV_VAR = "REPRO_PARALLEL_WORKERS"
+
+
+def default_worker_count() -> int:
+    """Worker count for pooled backends.
+
+    ``REPRO_PARALLEL_WORKERS`` wins when set; otherwise the scheduler
+    affinity (falling back to ``os.cpu_count()``), floored at 2 so the
+    pooled backends exercise real concurrency even on one-core hosts.
+    """
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env:
+        count = int(env)
+        if count < 1:
+            raise SimulationError(
+                f"{WORKERS_ENV_VAR} must be >= 1, got {count}"
+            )
+        return count
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux platforms
+        cores = os.cpu_count() or 1
+    return max(cores, 2)
+
+
+def _chunk(items: Sequence[Any], num_chunks: int) -> List[Sequence[Any]]:
+    """Split ``items`` into at most ``num_chunks`` contiguous chunks."""
+    n = len(items)
+    num_chunks = max(min(num_chunks, n), 1)
+    base, extra = divmod(n, num_chunks)
+    chunks = []
+    start = 0
+    for i in range(num_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def _run_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
+    """Execute one contiguous chunk of tasks (runs inside a worker)."""
+    return [fn(item) for item in chunk]
+
+
+class Backend:
+    """Protocol for execution backends.
+
+    Subclasses override :meth:`map`; the contract is strict ordering —
+    ``backend.map(fn, items)[i] == fn(items[i])`` regardless of the
+    actual execution schedule.
+    """
+
+    name: str = "abstract"
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        chunksize: Optional[int] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every item, returning results in input order."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release pooled resources (no-op for poolless backends)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SerialBackend(Backend):
+    """In-process sequential execution — the determinism reference."""
+
+    name = "serial"
+
+    def map(self, fn, items, chunksize=None):
+        return [fn(item) for item in items]
+
+
+class _PooledBackend(Backend):
+    """Shared machinery for executor-pool backends.
+
+    The pool is created lazily on first use and reused across ``map``
+    calls, so per-job overhead is one round of chunked submissions, not a
+    pool start-up.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self.max_workers = (
+            max_workers if max_workers is not None else default_worker_count()
+        )
+        if self.max_workers < 1:
+            raise SimulationError("max_workers must be >= 1")
+        self._pool: Optional[Executor] = None
+
+    def _make_pool(self) -> Executor:
+        raise NotImplementedError
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def _submittable(self, fn, items) -> bool:
+        return True
+
+    def map(self, fn, items, chunksize=None):
+        items = list(items)
+        if len(items) <= 1 or not self._submittable(fn, items):
+            return [fn(item) for item in items]
+        if chunksize is None:
+            # Several chunks per worker so stragglers rebalance.
+            num_chunks = self.max_workers * 4
+        else:
+            if chunksize < 1:
+                raise SimulationError("chunksize must be >= 1")
+            num_chunks = -(-len(items) // chunksize)
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_run_chunk, fn, chunk)
+            for chunk in _chunk(items, num_chunks)
+        ]
+        results: List[Any] = []
+        for future in futures:  # submission order == input order
+            results.extend(future.result())
+        return results
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+class ThreadBackend(_PooledBackend):
+    """Thread-pool execution.
+
+    Helps when tasks release the GIL (numpy kernels, I/O); shares the
+    address space, so any task closure is submittable.
+    """
+
+    name = "thread"
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers,
+            thread_name_prefix="repro-parallel",
+        )
+
+
+class ProcessBackend(_PooledBackend):
+    """Process-pool execution via :mod:`concurrent.futures`.
+
+    Task closures and their payloads cross a pipe, so they must pickle;
+    unpicklable work falls back to in-process execution with a one-time
+    warning instead of raising, keeping a globally configured process
+    backend safe for every workload.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        super().__init__(max_workers)
+        self._warned_unpicklable = False
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+    def _submittable(self, fn, items) -> bool:
+        try:
+            # Probe the function and one representative payload; a failure
+            # anywhere means the chunks could not cross the pipe.
+            pickle.dumps((fn, items[0]))
+            return True
+        except Exception:
+            if not self._warned_unpicklable:
+                self._warned_unpicklable = True
+                warnings.warn(
+                    "process backend received an unpicklable task; "
+                    "executing in-process instead (results are identical, "
+                    "only the parallel speedup is lost)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return False
+
+
+_REGISTRY: Dict[str, Callable[[], Backend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+_INSTANCES: Dict[str, Backend] = {}
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names accepted by :func:`get_backend`."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(spec: Union[str, Backend, None] = None) -> Backend:
+    """Resolve ``spec`` to a backend instance.
+
+    ``None`` reads the ``REPRO_BACKEND`` environment variable (defaulting
+    to ``"serial"``); a string is looked up in the registry; a
+    :class:`Backend` instance passes through unchanged.  String lookups
+    return a shared instance per name so executor pools are reused.
+    """
+    if isinstance(spec, Backend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR, "serial").strip() or "serial"
+    name = spec.lower()
+    if name not in _REGISTRY:
+        raise SimulationError(
+            f"unknown backend {spec!r}; choose from {available_backends()}"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _REGISTRY[name]()
+    return _INSTANCES[name]
+
+
+def shutdown_backends() -> None:
+    """Shut down every shared backend pool (idempotent)."""
+    for backend in _INSTANCES.values():
+        backend.shutdown()
+
+
+atexit.register(shutdown_backends)

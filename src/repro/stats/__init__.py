@@ -44,6 +44,7 @@ from repro.stats.rng import (
     deterministic_cycle,
     make_rng,
     stratified_uniforms,
+    task_seed_sequences,
 )
 from repro.stats.timeseries import (
     ExtrapolationReport,
@@ -93,5 +94,6 @@ __all__ = [
     "spline_system",
     "stratified_uniforms",
     "synthetic_housing_prices",
+    "task_seed_sequences",
     "thomas_solve",
 ]

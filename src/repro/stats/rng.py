@@ -10,11 +10,24 @@ reproducible from one integer.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+import hashlib
+from typing import Dict, Iterable, List, Tuple, Union
 
 import numpy as np
 
 SeedLike = Union[int, np.random.SeedSequence, None]
+
+
+def _stable_digest(key: object) -> int:
+    """A 63-bit digest of ``repr(key)`` that is stable across processes.
+
+    Python's builtin ``hash`` of strings is randomized per interpreter
+    (PYTHONHASHSEED), which would make streams irreproducible across runs
+    and across worker processes; a cryptographic digest of the repr is
+    deterministic everywhere.
+    """
+    digest = hashlib.sha256(repr(key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -66,12 +79,21 @@ class RandomStreamFactory:
     def _child(self, key: object) -> np.random.SeedSequence:
         if key not in self._children:
             # Derive the child deterministically from the key's repr so that
-            # stream identity does not depend on request order.
-            digest = abs(hash(repr(key))) % (2**63)
+            # stream identity depends neither on request order nor on the
+            # process requesting it (hash randomization never enters).
             self._children[key] = np.random.SeedSequence(
-                entropy=self._root.entropy, spawn_key=(digest,)
+                entropy=self._root.entropy, spawn_key=(_stable_digest(key),)
             )
         return self._children[key]
+
+    def sequence(self, key: object) -> np.random.SeedSequence:
+        """The (picklable) child seed sequence behind stream ``key``.
+
+        Seed sequences — unlike generators mid-stream — are cheap to ship
+        to worker processes, so parallel backends spawn sequences in the
+        driver and construct generators inside the task.
+        """
+        return self._child(key)
 
     def stream(self, key: object) -> np.random.Generator:
         """Return a fresh generator for stream ``key``.
@@ -94,6 +116,32 @@ class RandomStreamFactory:
         streams without sharing the parent's namespace.
         """
         return RandomStreamFactory(self._child(key))
+
+
+def task_seed_sequences(
+    seed: Union[SeedLike, "RandomStreamFactory"],
+    name: str,
+    count: int,
+) -> List[np.random.SeedSequence]:
+    """Spawn ``count`` independent, picklable per-task seed sequences.
+
+    This is the determinism layer under :mod:`repro.parallel`: task ``i``
+    of the fan-out ``name`` always receives the sequence for stream key
+    ``(name, i)``, regardless of which backend runs it, which worker it
+    lands on, or in what order tasks complete — so parallel execution is
+    byte-identical to serial.
+
+    ``seed`` may be an integer, a ``SeedSequence``, or an existing
+    :class:`RandomStreamFactory` (whose root then scopes the streams).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    factory = (
+        seed
+        if isinstance(seed, RandomStreamFactory)
+        else RandomStreamFactory(seed)
+    )
+    return [factory.sequence((name, i)) for i in range(count)]
 
 
 def antithetic_uniforms(

@@ -1,0 +1,55 @@
+"""CI smoke test for the benchmark harness.
+
+Runs two benchmarks' experiment bodies in ``--quick`` mode (small sizes,
+serial backend) so the tier-1 suite exercises the harness — config
+knobs, timing, report/JSON persistence — without multi-minute runs.
+The full-size runs stay behind ``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks._util import RESULTS_DIR, BenchConfig
+from benchmarks.bench_mcdb_tuple_bundles import (
+    run_experiment as run_mcdb_experiment,
+)
+from benchmarks.bench_parallel_backends import (
+    run_experiment as run_parallel_experiment,
+)
+
+QUICK = BenchConfig(quick=True, backend="serial")
+
+
+def test_quick_mcdb_tuple_bundles():
+    rows, speedups = run_mcdb_experiment(QUICK)
+    assert len(rows) == 2
+    # Estimates from both paths agree on the same distribution.
+    for _, naive_mean, bundled_mean, *_ in rows:
+        assert abs(naive_mean - bundled_mean) < 2.0
+    assert all(s > 0 for s in speedups.values())
+
+
+def test_quick_parallel_backends():
+    rows, identical = run_parallel_experiment(QUICK)
+    # Two workloads x three backends, all byte-identical to serial.
+    assert len(rows) == 6
+    assert all(identical.values())
+
+
+def test_bench_config_env_roundtrip(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+    monkeypatch.setenv("REPRO_BENCH_BACKEND", "thread")
+    config = BenchConfig.from_env()
+    assert config.quick and config.backend == "thread"
+
+
+def test_save_json_writes_self_describing_document(tmp_path, monkeypatch):
+    import benchmarks._util as util
+
+    monkeypatch.setattr(util, "RESULTS_DIR", tmp_path)
+    path = util.save_json("SMOKE", {"rows": [[1, 2.5]]})
+    document = json.loads(path.read_text())
+    assert document["experiment"] == "SMOKE"
+    assert document["host"]["cpu_count"] >= 1
+    assert document["rows"] == [[1, 2.5]]

@@ -1,0 +1,369 @@
+"""Tests for repro.parallel: backend primitives and equivalence.
+
+The determinism contract — any backend produces byte-identical results
+to serial — is exercised on the three workload families the ISSUE names:
+a MapReduce wordcount, MCDB execution (naive Monte Carlo loop and
+tuple-bundle aggregation), and a seeded particle-filter run; plus the
+caching/calibration fan-outs.
+
+Task closures live at module level so they pickle for the process
+backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.assimilation import LinearGaussianSSM, particle_filter
+from repro.calibration import genetic_algorithm, nelder_mead, random_search
+from repro.composite import (
+    ArrivalProcessModel,
+    QueueModel,
+    measure_estimator_variance,
+    run_with_caching,
+)
+from repro.engine import Database, Schema
+from repro.errors import FilteringError, SimulationError
+from repro.mapreduce import Cluster, JobCounters, MapReduceJob, sum_reducer
+from repro.mcdb import MonteCarloDatabase, NormalVG, RandomTableSpec
+from repro.parallel import (
+    ProcessBackend,
+    SerialBackend,
+    available_backends,
+    get_backend,
+    task_seed_sequences,
+)
+from repro.stats import make_rng
+
+BACKENDS = ("serial", "thread", "process")
+
+
+# -- module-level (picklable) task closures ---------------------------------
+
+
+def square(x):
+    return x * x
+
+
+def wc_mapper(_, line):
+    for word in line.split():
+        yield word, 1
+
+
+def wordcount_job(combiner=False):
+    return MapReduceJob(
+        "wc", wc_mapper, sum_reducer, combiner=sum_reducer if combiner else None
+    )
+
+
+def mc_query(instance):
+    total = 0.0
+    count = 0
+    for row in instance.table("sbp_data"):
+        total += row["sbp"]
+        count += 1
+    return total / count
+
+
+def build_mcdb(num_rows=12):
+    db = Database()
+    db.create_table("patients", Schema.of(pid=int))
+    for i in range(num_rows):
+        db.table("patients").insert({"pid": i})
+    mcdb = MonteCarloDatabase(db, seed=5)
+    mcdb.register_random_table(
+        RandomTableSpec(
+            name="sbp_data",
+            vg=NormalVG(),
+            outer_table="patients",
+            parameters={"mean": 120.0, "std": 10.0},
+            select={"pid": "outer.pid", "sbp": "vg.value"},
+        )
+    )
+    return mcdb
+
+
+def sphere(x):
+    return float(np.sum(np.asarray(x) ** 2))
+
+
+# -- backend primitives -----------------------------------------------------
+
+
+class TestBackendPrimitives:
+    def test_factory_names(self):
+        assert available_backends() == ("process", "serial", "thread")
+        for name in BACKENDS:
+            assert get_backend(name).name == name
+
+    def test_factory_returns_shared_instances(self):
+        assert get_backend("thread") is get_backend("thread")
+
+    def test_backend_instance_passthrough(self):
+        backend = SerialBackend()
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            get_backend("gpu")
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        assert get_backend(None).name == "thread"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert get_backend(None).name == "serial"
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_map_preserves_order(self, name):
+        items = list(range(23))
+        assert get_backend(name).map(square, items) == [square(x) for x in items]
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_map_empty_and_singleton(self, name):
+        backend = get_backend(name)
+        assert backend.map(square, []) == []
+        assert backend.map(square, [3]) == [9]
+
+    def test_explicit_chunksize(self):
+        backend = get_backend("thread")
+        items = list(range(10))
+        assert backend.map(square, items, chunksize=3) == [
+            square(x) for x in items
+        ]
+        with pytest.raises(SimulationError):
+            backend.map(square, items, chunksize=0)
+
+    def test_process_backend_falls_back_on_unpicklable(self):
+        backend = ProcessBackend(max_workers=2)
+        captured = []  # closure => unpicklable task
+        with pytest.warns(RuntimeWarning, match="unpicklable"):
+            out = backend.map(lambda x: captured.append(x) or x + 1, [1, 2, 3])
+        assert out == [2, 3, 4]
+        assert captured == [1, 2, 3]
+        backend.shutdown()
+
+    def test_task_seed_sequences_deterministic_and_independent(self):
+        a = task_seed_sequences(42, "mc", 4)
+        b = task_seed_sequences(42, "mc", 4)
+        draws_a = [np.random.default_rng(s).uniform() for s in a]
+        draws_b = [np.random.default_rng(s).uniform() for s in b]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) == 4
+        other = task_seed_sequences(42, "other", 4)
+        assert np.random.default_rng(other[0]).uniform() != draws_a[0]
+
+    def test_task_seed_sequences_picklable(self):
+        import pickle
+
+        seqs = task_seed_sequences(7, "ship", 3)
+        clones = pickle.loads(pickle.dumps(seqs))
+        for seq, clone in zip(seqs, clones):
+            assert (
+                np.random.default_rng(seq).uniform()
+                == np.random.default_rng(clone).uniform()
+            )
+
+
+# -- workload equivalence ---------------------------------------------------
+
+
+class TestMapReduceEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_run(self):
+        inputs = [(None, f"w{i % 7} w{i % 3} common") for i in range(60)]
+        counters = JobCounters()
+        output = Cluster(num_workers=4, backend="serial").run(
+            wordcount_job(combiner=True), inputs, counters
+        )
+        return inputs, output, counters
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_wordcount_identical(self, name, serial_run):
+        inputs, expected_output, expected_counters = serial_run
+        counters = JobCounters()
+        output = Cluster(num_workers=4, backend=name).run(
+            wordcount_job(combiner=True), inputs, counters
+        )
+        assert output == expected_output
+        assert counters == expected_counters
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_num_reducers_override_does_not_mutate_job(self, name):
+        job = wordcount_job()
+        inputs = [(None, f"w{i % 5}") for i in range(30)]
+        cluster = Cluster(2, backend=name)
+        a = dict(cluster.run(job, inputs))
+        b = dict(cluster.run(job, inputs, num_reducers=7))
+        assert a == b
+        assert job.num_reducers == 4
+        with pytest.raises(SimulationError):
+            cluster.run(job, inputs, num_reducers=0)
+
+    def test_run_chain_returns_list_without_rematerializing(self):
+        cluster = Cluster(2)
+        out, counters = cluster.run_chain(
+            [wordcount_job()], iter([(None, "a a b")])
+        )
+        assert isinstance(out, list)
+        assert dict(out) == {"a": 2, "b": 1}
+        assert counters.records_read == 1
+
+
+class TestMcdbEquivalence:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_naive_samples_byte_identical(self, name):
+        expected = build_mcdb().run_naive(mc_query, 8).samples
+        got = build_mcdb().run_naive(mc_query, 8, backend=name).samples
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_bundled_aggregation_byte_identical(self, name):
+        def agg(bundles, _db):
+            return bundles["sbp_data"].aggregate_avg("sbp")
+
+        expected = build_mcdb().run_bundled(agg, 16).samples
+        # The bundle query closure stays in the driver; only per-table
+        # instantiation fans out, so even unpicklable queries are fine.
+        got = build_mcdb().run_bundled(agg, 16, backend=name).samples
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestParticleFilterEquivalence:
+    @pytest.fixture(scope="class")
+    def setting(self):
+        ssm = LinearGaussianSSM(a=0.9, q=0.5, r=0.5)
+        _, observations = ssm.simulate(12, make_rng(0))
+        return ssm.to_state_space_model(), ssm, observations
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_bootstrap_filter_byte_identical(self, name, setting):
+        model, _, observations = setting
+        expected = particle_filter(
+            model, observations, 64, backend="serial", seed=9
+        )
+        got = particle_filter(model, observations, 64, backend=name, seed=9)
+        np.testing.assert_array_equal(
+            got.filtered_means, expected.filtered_means
+        )
+        np.testing.assert_array_equal(
+            got.final_particles, expected.final_particles
+        )
+        assert got.log_likelihood == expected.log_likelihood
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_optimal_proposal_byte_identical(self, name, setting):
+        model, ssm, observations = setting
+        expected = particle_filter(
+            model,
+            observations,
+            32,
+            backend="serial",
+            seed=4,
+            proposal=ssm.optimal_proposal(),
+        )
+        got = particle_filter(
+            model,
+            observations,
+            32,
+            backend=name,
+            seed=4,
+            proposal=ssm.optimal_proposal(),
+        )
+        np.testing.assert_array_equal(
+            got.filtered_means, expected.filtered_means
+        )
+
+    def test_parallel_mode_requires_seed(self, setting):
+        model, _, observations = setting
+        with pytest.raises(FilteringError):
+            particle_filter(model, observations, 16, backend="serial")
+
+    def test_legacy_mode_requires_rng(self, setting):
+        model, _, observations = setting
+        with pytest.raises(FilteringError):
+            particle_filter(model, observations, 16)
+
+    def test_shard_count_changes_draws_but_not_validity(self, setting):
+        # n_shards is part of the determinism contract: same seed, same
+        # shards => same result; different shard layout => different draws.
+        model, _, observations = setting
+        a = particle_filter(
+            model, observations, 64, backend="serial", seed=9, n_shards=4
+        )
+        b = particle_filter(
+            model, observations, 64, backend="thread", seed=9, n_shards=4
+        )
+        np.testing.assert_array_equal(a.filtered_means, b.filtered_means)
+
+
+class TestCompositeEquivalence:
+    @pytest.fixture(scope="class")
+    def models(self):
+        return (
+            ArrivalProcessModel("m1", cost=2.0),
+            QueueModel("m2", cost=0.5),
+        )
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_run_with_caching_backend_invariant(self, name, models):
+        m1, m2 = models
+        expected = run_with_caching(
+            m1, m2, n=20, alpha=0.25, rng=None, backend="serial", seed=11
+        )
+        got = run_with_caching(
+            m1, m2, n=20, alpha=0.25, rng=None, backend=name, seed=11
+        )
+        np.testing.assert_array_equal(got.samples, expected.samples)
+        assert got.m1_runs == expected.m1_runs
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_measure_estimator_variance_matches_legacy(self, name, models):
+        m1, m2 = models
+        legacy = measure_estimator_variance(
+            m1, m2, budget=60.0, alpha=0.5, replications=4, seed=3
+        )
+        parallel = measure_estimator_variance(
+            m1, m2, budget=60.0, alpha=0.5, replications=4, seed=3,
+            backend=name,
+        )
+        assert parallel == legacy
+
+    def test_parallel_caching_requires_seed(self, models):
+        m1, m2 = models
+        with pytest.raises(SimulationError):
+            run_with_caching(m1, m2, n=10, alpha=0.5, rng=None, backend="serial")
+
+
+class TestOptimizerEquivalence:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_nelder_mead_backend_invariant(self, name):
+        baseline = nelder_mead(sphere, [1.0, -2.0, 0.5])
+        result = nelder_mead(sphere, [1.0, -2.0, 0.5], backend=name)
+        np.testing.assert_array_equal(result.x, baseline.x)
+        assert result.value == baseline.value
+        assert result.evaluations == baseline.evaluations
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_genetic_algorithm_backend_invariant(self, name):
+        bounds = [(-3.0, 3.0)] * 2
+        baseline = genetic_algorithm(
+            sphere, bounds, make_rng(5), population_size=10, generations=5
+        )
+        result = genetic_algorithm(
+            sphere, bounds, make_rng(5), population_size=10, generations=5,
+            backend=name,
+        )
+        np.testing.assert_array_equal(result.x, baseline.x)
+        assert result.value == baseline.value
+        assert result.evaluations == baseline.evaluations
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_random_search_backend_invariant(self, name):
+        bounds = [(-1.0, 1.0)] * 3
+        baseline = random_search(sphere, bounds, make_rng(2), evaluations=40)
+        result = random_search(
+            sphere, bounds, make_rng(2), evaluations=40, backend=name
+        )
+        np.testing.assert_array_equal(result.x, baseline.x)
+        assert result.value == baseline.value
