@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, Sequence, Tuple
 
+from repro.obs import get_observer
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Environment fallbacks for the pytest flags, so plain scripts and the
@@ -90,11 +92,17 @@ def save_json(experiment_id: str, payload: Dict[str, Any]) -> Path:
     """Persist machine-readable rows to ``benchmarks/results/<id>.json``.
 
     The payload is wrapped with the experiment id and host metadata so a
-    results file is self-describing; returns the written path.
+    results file is self-describing; returns the written path.  When the
+    :mod:`repro.obs` subsystem is live (``REPRO_OBS=1``), the current
+    metrics snapshot rides along under ``obs_metrics``, so a recorded
+    benchmark carries the telemetry that explains its numbers.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{experiment_id}.json"
     document = {"experiment": experiment_id, "host": host_info(), **payload}
+    observer = get_observer()
+    if observer.enabled:
+        document.setdefault("obs_metrics", observer.metrics.snapshot())
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path
 

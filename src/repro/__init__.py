@@ -23,7 +23,9 @@ Section 4 — simulation metamodeling
     :mod:`repro.metamodel` (polynomial and kriging metamodels, factor
     screening), :mod:`repro.doe` (factorial and Latin-hypercube designs).
 
-Shared substrates: :mod:`repro.stats`, :mod:`repro.errors`.
+Shared substrates: :mod:`repro.stats`, :mod:`repro.errors`,
+:mod:`repro.parallel` (execution backends), and :mod:`repro.obs`
+(opt-in tracing + metrics, ``REPRO_OBS=1``).
 """
 
 from repro.errors import ReproError

@@ -1,12 +1,20 @@
-"""A one-minute guided tour: ``python -m repro``.
+"""Command-line entry points: ``python -m repro [command]``.
 
-Runs a miniature pass through the library's layers — uncertain data in
-the Monte Carlo database, an epidemic intervention, a particle filter
-against an exact Kalman reference, and a result-caching optimum — and
-points at the full examples and benchmarks.
+``tour`` (the default) runs a miniature pass through the library's
+layers — uncertain data in the Monte Carlo database, an epidemic
+intervention, a particle filter against an exact Kalman reference, and
+a result-caching optimum — and points at the full examples and
+benchmarks.
+
+``obs-report`` force-enables the :mod:`repro.obs` observability
+subsystem, runs a figure-scale experiment across the instrumented hot
+paths, and dumps a Chrome-trace JSON plus a metrics snapshot (see
+``python -m repro obs-report --help``).
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
@@ -97,7 +105,47 @@ def tour() -> None:
     print("=" * 60)
     print("full walkthroughs:  python examples/<name>.py")
     print("all reproductions:  pytest benchmarks/ --benchmark-only")
+    print("observability:      python -m repro obs-report")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Model-Data Ecosystems (PODS 2014) reproduction.",
+    )
+    commands = parser.add_subparsers(dest="command")
+    commands.add_parser("tour", help="one-minute guided tour (default)")
+    report = commands.add_parser(
+        "obs-report",
+        help="run an instrumented figure-scale experiment and dump the "
+        "trace + metrics snapshot",
+    )
+    report.add_argument(
+        "--out-dir",
+        default=None,
+        help="artifact directory (default: benchmarks/results)",
+    )
+    report.add_argument(
+        "--backend",
+        default=None,
+        help="execution backend: serial, thread, or process "
+        "(default: the REPRO_BACKEND environment variable)",
+    )
+    report.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink problem sizes (CI smoke mode)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "obs-report":
+        from repro.obs.report import run_report
+
+        run_report(
+            out_dir=args.out_dir, backend=args.backend, quick=args.quick
+        )
+    else:
+        tour()
 
 
 if __name__ == "__main__":
-    tour()
+    main()

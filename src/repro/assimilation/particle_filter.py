@@ -15,6 +15,7 @@ ALG2 benchmark a ground truth to converge to.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
@@ -27,6 +28,7 @@ from repro.assimilation.importance import (
 )
 from repro.assimilation.resampling import get_resampler
 from repro.errors import FilteringError
+from repro.obs import get_observer
 from repro.parallel.backend import Backend, get_backend
 from repro.stats.rng import RandomStreamFactory
 
@@ -186,76 +188,123 @@ def particle_filter(
         )
     resample = get_resampler(resampler)
     summarize = summarizer if summarizer is not None else (lambda x: x)
+    observer = get_observer()
+    observer.counter("assimilation.filter_runs").inc()
+    observer.counter("assimilation.steps").add(len(observations))
 
-    # Step 1: particles at time 0 (before the first observation).
-    if parallel:
-        particles = np.concatenate(
-            executor.map(
-                partial(_initial_shard, model),
-                [
-                    (factory.sequence(("pf", "init", s)), size)
-                    for s, size in enumerate(shard_sizes)
-                ],
-            ),
-            axis=0,
-        )
-    else:
-        particles = model.initial_sampler(rng, n_particles)
-    means: List[np.ndarray] = []
-    ess_series: List[float] = []
-    log_likelihood = 0.0
+    with observer.span(
+        "assimilation.particle_filter",
+        steps=len(observations),
+        particles=n_particles,
+        mode="parallel" if parallel else "sequential",
+    ):
+        # Step 1: particles at time 0 (before the first observation).
+        with observer.span("assimilation.init"):
+            if parallel:
+                particles = np.concatenate(
+                    executor.map(
+                        partial(_initial_shard, model),
+                        [
+                            (factory.sequence(("pf", "init", s)), size)
+                            for s, size in enumerate(shard_sizes)
+                        ],
+                    ),
+                    axis=0,
+                )
+            else:
+                particles = model.initial_sampler(rng, n_particles)
+        means: List[np.ndarray] = []
+        ess_series: List[float] = []
+        log_likelihood = 0.0
+        ess_histogram = observer.histogram("assimilation.ess")
+        resample_timer = observer.timer("assimilation.resample.seconds")
 
-    for step, observation in enumerate(observations):
-        # Steps 6-9: propose and weight.
-        if parallel:
-            shard_results = executor.map(
-                partial(_propose_shard, model, proposal, observation),
-                [
-                    (shard, factory.sequence(("pf", "step", step, s)))
-                    for s, shard in enumerate(
-                        np.array_split(particles, shard_count, axis=0)
+        for step, observation in enumerate(observations):
+            with observer.span("assimilation.step", step=step):
+                # Steps 6-9: propose and weight.
+                with observer.span("assimilation.propose"):
+                    if parallel:
+                        shard_results = executor.map(
+                            partial(
+                                _propose_shard, model, proposal, observation
+                            ),
+                            [
+                                (
+                                    shard,
+                                    factory.sequence(("pf", "step", step, s)),
+                                )
+                                for s, shard in enumerate(
+                                    np.array_split(
+                                        particles, shard_count, axis=0
+                                    )
+                                )
+                            ],
+                        )
+                        proposed = np.concatenate(
+                            [r[0] for r in shard_results], axis=0
+                        )
+                        log_w = np.concatenate(
+                            [r[1] for r in shard_results]
+                        )
+                    elif proposal is None:
+                        proposed = model.transition_sampler(particles, rng)
+                        log_w = model.observation_log_density(
+                            proposed, observation
+                        )
+                    else:
+                        previous = particles
+                        proposed = proposal.sampler(
+                            previous, observation, rng
+                        )
+                        log_w = (
+                            model.observation_log_density(
+                                proposed, observation
+                            )
+                            + model.transition_log_density(
+                                proposed, previous
+                            )
+                            - proposal.log_density(
+                                proposed, previous, observation
+                            )
+                        )
+                # Log-likelihood increment: log mean unnormalized weight.
+                shift = np.max(log_w)
+                if not np.isfinite(shift):
+                    raise FilteringError(
+                        f"all particles have zero likelihood at step {step}"
                     )
-                ],
-            )
-            proposed = np.concatenate(
-                [r[0] for r in shard_results], axis=0
-            )
-            log_w = np.concatenate([r[1] for r in shard_results])
-        elif proposal is None:
-            proposed = model.transition_sampler(particles, rng)
-            log_w = model.observation_log_density(proposed, observation)
-        else:
-            previous = particles
-            proposed = proposal.sampler(previous, observation, rng)
-            log_w = (
-                model.observation_log_density(proposed, observation)
-                + model.transition_log_density(proposed, previous)
-                - proposal.log_density(proposed, previous, observation)
-            )
-        # Log-likelihood increment: log mean unnormalized weight.
-        shift = np.max(log_w)
-        if not np.isfinite(shift):
-            raise FilteringError(
-                f"all particles have zero likelihood at step {step}"
-            )
-        log_likelihood += float(
-            shift + np.log(np.mean(np.exp(log_w - shift)))
-        )
-        weights = normalize_log_weights(log_w)
-        summary = np.asarray(summarize(proposed), dtype=float)
-        if summary.ndim == 1:
-            means.append(np.array([float(weights @ summary)]))
-        else:
-            means.append(weights @ summary)
-        ess_series.append(effective_sample_size(weights))
-        # Steps 4/11: resample to equal weights.  Resampling is global (it
-        # couples all particles), so it runs in the driver; in parallel
-        # mode it draws from its own per-step stream.
-        resample_rng = (
-            factory.stream(("pf", "resample", step)) if parallel else rng
-        )
-        indices = resample(weights, resample_rng)
-        particles = proposed[indices]
+                log_likelihood += float(
+                    shift + np.log(np.mean(np.exp(log_w - shift)))
+                )
+                weights = normalize_log_weights(log_w)
+                summary = np.asarray(summarize(proposed), dtype=float)
+                if summary.ndim == 1:
+                    means.append(np.array([float(weights @ summary)]))
+                else:
+                    means.append(weights @ summary)
+                ess = effective_sample_size(weights)
+                ess_series.append(ess)
+                ess_histogram.observe(ess)
+                # Steps 4/11: resample to equal weights.  Resampling is
+                # global (it couples all particles), so it runs in the
+                # driver; in parallel mode it draws from its own
+                # per-step stream.
+                resample_rng = (
+                    factory.stream(("pf", "resample", step))
+                    if parallel
+                    else rng
+                )
+                with observer.span("assimilation.resample"):
+                    resample_start = time.perf_counter()
+                    indices = resample(weights, resample_rng)
+                    particles = proposed[indices]
+                    resample_timer.add(
+                        time.perf_counter() - resample_start
+                    )
+                observer.counter("assimilation.resampled_particles").add(
+                    n_particles
+                )
+    observer.gauge("assimilation.log_likelihood").set(log_likelihood)
 
     return FilterResult(
         filtered_means=np.vstack(means),

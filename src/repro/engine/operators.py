@@ -12,10 +12,12 @@ ABS self-join).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.engine import plan as lp
+from repro.obs import get_observer
 from repro.engine.expressions import (
     BinaryOp,
     Column,
@@ -196,12 +198,41 @@ class Executor:
 
     def execute(self, node: lp.PlanNode) -> List[Row]:
         """Execute ``node`` and materialize the output rows."""
-        rows = list(self._run(node))
-        self.metrics.rows_output += len(rows)
+        observer = get_observer()
+        if not observer.enabled:
+            rows = list(self._run(node))
+            self.metrics.rows_output += len(rows)
+            return rows
+        with observer.span("engine.execute", plan=lp.plan_signature(node)):
+            before = (
+                self.metrics.rows_scanned,
+                self.metrics.rows_joined,
+                self.metrics.join_pairs_examined,
+            )
+            rows = list(self._run(node))
+            self.metrics.rows_output += len(rows)
+            observer.counter("engine.queries").inc()
+            observer.counter("engine.rows_output").add(len(rows))
+            observer.counter("engine.rows_scanned").add(
+                self.metrics.rows_scanned - before[0]
+            )
+            observer.counter("engine.rows_joined").add(
+                self.metrics.rows_joined - before[1]
+            )
+            observer.counter("engine.join_pairs_examined").add(
+                self.metrics.join_pairs_examined - before[2]
+            )
         return rows
 
     # -- node dispatch ---------------------------------------------------
     def _run(self, node: lp.PlanNode) -> Iterator[Row]:
+        iterator = self._dispatch(node)
+        observer = get_observer()
+        if not observer.enabled:
+            return iterator
+        return _observe_operator(observer, node, iterator)
+
+    def _dispatch(self, node: lp.PlanNode) -> Iterator[Row]:
         if isinstance(node, lp.Scan):
             return self._scan(node)
         if isinstance(node, lp.Values):
@@ -430,3 +461,37 @@ class Executor:
                 )
         yield from left_rows
         yield from right_rows
+
+
+def _observe_operator(
+    observer, node: lp.PlanNode, iterator: Iterator[Row]
+) -> Iterator[Row]:
+    """Wrap one operator's iterator with per-operator rows/time metrics.
+
+    ``engine.operator.rows{op=...}`` counts rows the operator produced
+    (deterministic); ``engine.operator.seconds{op=...}`` accumulates the
+    wall-clock spent pulling them, *inclusive* of child operators (the
+    pipeline evaluates lazily, so a parent's ``next`` drives its
+    children).  Counts are emitted when the iterator finishes or is
+    closed, so partially consumed pipelines (e.g. under LIMIT) still
+    report what actually flowed.
+    """
+    label = lp.node_label(node)
+    rows_counter = observer.counter("engine.operator.rows", op=label)
+    timer = observer.timer("engine.operator.seconds", op=label)
+    rows = 0
+    elapsed = 0.0
+    try:
+        while True:
+            start = time.perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                elapsed += time.perf_counter() - start
+                break
+            elapsed += time.perf_counter() - start
+            rows += 1
+            yield row
+    finally:
+        rows_counter.add(rows)
+        timer.add(elapsed)

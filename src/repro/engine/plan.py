@@ -263,6 +263,34 @@ def walk(node: PlanNode):
         yield from walk(child)
 
 
+def node_label(node: PlanNode) -> str:
+    """A short, stable label for one node, used as a metric/trace key.
+
+    Scans carry their table (so ``engine.operator.rows{op=Scan(person)}``
+    separates per-relation flow) and joins their strategy-relevant kind;
+    everything else is just the class name.  Labels must be stable across
+    runs and backends — no ids, no memory addresses.
+    """
+    if isinstance(node, Scan):
+        return f"Scan({node.effective_name})"
+    if isinstance(node, Join):
+        return f"Join({node.how})"
+    return type(node).__name__
+
+
+def plan_signature(node: PlanNode) -> str:
+    """A one-line structural rendering, e.g. ``Project(Filter(Scan(t)))``.
+
+    Attached to ``engine.execute`` tracing spans so a trace identifies
+    *which* plan a timing belongs to without the multi-line summary.
+    """
+    children = node.children()
+    if not children:
+        return node_label(node)
+    inner = ",".join(plan_signature(c) for c in children)
+    return f"{node_label(node)}({inner})"
+
+
 def plan_summary(node: PlanNode, indent: int = 0) -> str:
     """A human-readable indented rendering of the plan tree."""
     pad = "  " * indent

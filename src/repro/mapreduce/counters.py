@@ -11,7 +11,19 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
+
+#: The built-in record-flow counters, in declaration order.  Shared with
+#: the runtime, which re-emits them into the ``repro.obs`` metrics
+#: registry under ``mapreduce.<name>``.
+COUNTER_FIELDS: Tuple[str, ...] = (
+    "records_read",
+    "records_mapped",
+    "records_shuffled",
+    "shuffle_bytes",
+    "records_reduced",
+    "records_written",
+)
 
 
 @dataclass
@@ -42,52 +54,69 @@ class JobCounters:
         ``JobCounters`` and absorbs them in task order, so totals are
         identical no matter which backend (or worker) ran each task.
         """
-        self.records_read += other.records_read
-        self.records_mapped += other.records_mapped
-        self.records_shuffled += other.records_shuffled
-        self.shuffle_bytes += other.shuffle_bytes
-        self.records_reduced += other.records_reduced
-        self.records_written += other.records_written
+        for name in COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
         for name, count in other.custom.items():
             self.increment(name, count)
 
     def merge(self, other: "JobCounters") -> "JobCounters":
-        """Combine counters from two jobs (for multi-job pipelines)."""
-        merged = JobCounters(
-            records_read=self.records_read + other.records_read,
-            records_mapped=self.records_mapped + other.records_mapped,
-            records_shuffled=self.records_shuffled + other.records_shuffled,
-            shuffle_bytes=self.shuffle_bytes + other.shuffle_bytes,
-            records_reduced=self.records_reduced + other.records_reduced,
-            records_written=self.records_written + other.records_written,
-        )
-        merged.custom = dict(self.custom)
-        for name, count in other.custom.items():
-            merged.custom[name] = merged.custom.get(name, 0) + count
+        """Combine counters from two jobs (for multi-job pipelines).
+
+        Implemented as copy + :meth:`absorb` so the two aggregation
+        paths cannot drift.
+        """
+        merged = JobCounters()
+        merged.absorb(self)
+        merged.absorb(other)
         return merged
 
     def summary(self) -> str:
         """One-line human-readable rendering."""
-        return (
+        text = (
             f"read={self.records_read} mapped={self.records_mapped} "
             f"shuffled={self.records_shuffled} "
             f"(~{self.shuffle_bytes} B) reduced={self.records_reduced} "
             f"written={self.records_written}"
         )
+        if self.custom:
+            rendered = " ".join(
+                f"{name}={self.custom[name]}" for name in sorted(self.custom)
+            )
+            text += f" custom[{rendered}]"
+        return text
 
 
-def _approximate_size(obj: Any) -> int:
-    """Cheap size estimate of a record for shuffle accounting."""
+#: Containers nested deeper than this are charged a flat estimate
+#: instead of being walked, so pathological records (or cyclic-ish
+#: structures built from deep nesting) cannot blow the stack.
+_MAX_SIZE_DEPTH = 16
+
+#: Flat fallback charge for objects the estimator will not inspect.
+_FALLBACK_SIZE = 64
+
+
+def _approximate_size(obj: Any, _depth: int = 0) -> int:
+    """Cheap size estimate of a record for shuffle accounting.
+
+    Strings count their UTF-8 encoding (what would actually cross the
+    wire), not their character count; ``bytes``/``bytearray`` count
+    their length directly.
+    """
     if isinstance(obj, (int, float, bool)) or obj is None:
         return 8
     if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, (bytes, bytearray)):
         return len(obj)
+    if _depth >= _MAX_SIZE_DEPTH:
+        return _FALLBACK_SIZE
     if isinstance(obj, (list, tuple)):
-        return sum(_approximate_size(x) for x in obj) + 8
+        return sum(_approximate_size(x, _depth + 1) for x in obj) + 8
     if isinstance(obj, dict):
         return (
             sum(
-                _approximate_size(k) + _approximate_size(v)
+                _approximate_size(k, _depth + 1)
+                + _approximate_size(v, _depth + 1)
                 for k, v in obj.items()
             )
             + 8
@@ -95,4 +124,4 @@ def _approximate_size(obj: Any) -> int:
     try:
         return sys.getsizeof(obj)
     except TypeError:
-        return 64
+        return _FALLBACK_SIZE

@@ -23,8 +23,9 @@ from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
-from repro.mapreduce.counters import JobCounters
+from repro.mapreduce.counters import COUNTER_FIELDS, JobCounters
 from repro.mapreduce.job import KeyValue, MapReduceJob
+from repro.obs import get_observer
 from repro.parallel.backend import Backend, get_backend
 
 
@@ -134,23 +135,56 @@ class Cluster:
             num_reducers = job.num_reducers
         if num_reducers < 1:
             raise SimulationError("num_reducers must be >= 1")
-        splits = self._split(list(inputs), counters)
-        map_outputs: List[List[KeyValue]] = []
-        for task_output, task_counters in self.backend.map(
-            partial(_run_map_task, job), splits
-        ):
-            map_outputs.append(task_output)
-            counters.absorb(task_counters)
-        partitions = self._shuffle(job, map_outputs, counters, num_reducers)
-        output: List[KeyValue] = []
-        for task_output, task_counters in self.backend.map(
-            partial(_run_reduce_task, job), partitions
-        ):
-            output.extend(task_output)
-            counters.absorb(task_counters)
-        counters.records_written += len(output)
+        observer = get_observer()
+        # Callers may hand in pre-loaded counters; only this job's deltas
+        # are re-emitted into the metrics registry afterwards.
+        baseline = JobCounters().merge(counters)
+        with observer.span("mapreduce.job", job=job.name):
+            with observer.span("mapreduce.split"):
+                splits = self._split(list(inputs), counters)
+            map_outputs: List[List[KeyValue]] = []
+            with observer.span("mapreduce.map", tasks=len(splits)):
+                for task_output, task_counters in self.backend.map(
+                    partial(_run_map_task, job), splits
+                ):
+                    map_outputs.append(task_output)
+                    counters.absorb(task_counters)
+            with observer.span("mapreduce.shuffle"):
+                partitions = self._shuffle(
+                    job, map_outputs, counters, num_reducers
+                )
+            output: List[KeyValue] = []
+            with observer.span("mapreduce.reduce", partitions=len(partitions)):
+                for task_output, task_counters in self.backend.map(
+                    partial(_run_reduce_task, job), partitions
+                ):
+                    output.extend(task_output)
+                    counters.absorb(task_counters)
+            counters.records_written += len(output)
         self.history.append((job.name, counters))
+        if observer.enabled:
+            self._emit_metrics(observer, counters, baseline)
         return output
+
+    @staticmethod
+    def _emit_metrics(
+        observer, counters: JobCounters, baseline: JobCounters
+    ) -> None:
+        """Re-emit one job's counter deltas into the metrics registry.
+
+        This is what puts the paper's shuffle-volume comparison (DSGD vs
+        direct solvers, Section 2.2) in the same place as every other
+        claim: ``mapreduce.shuffle_bytes`` / ``mapreduce.records_shuffled``
+        accumulate next to the engine, MCDB, and filtering metrics.
+        """
+        observer.counter("mapreduce.jobs").inc()
+        for name in COUNTER_FIELDS:
+            delta = getattr(counters, name) - getattr(baseline, name)
+            observer.counter(f"mapreduce.{name}").add(delta)
+        for name in sorted(counters.custom):
+            delta = counters.custom[name] - baseline.custom.get(name, 0)
+            if delta:
+                observer.counter("mapreduce.custom", name=name).add(delta)
 
     def run_chain(
         self,

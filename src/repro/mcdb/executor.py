@@ -20,10 +20,11 @@ Both strategies sample the same distributions; the benchmark
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from repro.engine.catalog import Database
 from repro.errors import SimulationError
 from repro.mcdb.random_table import RandomTableSpec
 from repro.mcdb.tuple_bundle import BundledTable
+from repro.obs import get_observer
 from repro.parallel.backend import Backend, get_backend
 from repro.stats.estimators import (
     ConfidenceInterval,
@@ -158,17 +160,21 @@ class MonteCarloDatabase:
         """
         if n_mc < 1:
             raise SimulationError("n_mc must be >= 1")
-        if backend is not None:
-            samples = np.asarray(
-                get_backend(backend).map(
-                    partial(_naive_iteration, self, query), range(n_mc)
+        observer = get_observer()
+        observer.counter("mcdb.naive_runs").inc()
+        observer.counter("mcdb.naive_iterations").add(n_mc)
+        with observer.span("mcdb.run_naive", n_mc=n_mc):
+            if backend is not None:
+                samples = np.asarray(
+                    get_backend(backend).map(
+                        partial(_naive_iteration, self, query), range(n_mc)
+                    )
                 )
-            )
-        else:
-            samples = np.empty(n_mc)
-            for i in range(n_mc):
-                instance = self.instantiate(self._rng_for(i))
-                samples[i] = float(query(instance))
+            else:
+                samples = np.empty(n_mc)
+                for i in range(n_mc):
+                    instance = self.instantiate(self._rng_for(i))
+                    samples[i] = float(query(instance))
         return QueryDistribution(samples)
 
     # -- bundled execution ---------------------------------------------------
@@ -195,13 +201,28 @@ class MonteCarloDatabase:
         if n_mc < 1:
             raise SimulationError("n_mc must be >= 1")
         names = sorted(self._specs)
-        if backend is not None:
-            tables = get_backend(backend).map(
-                partial(_bundle_for_table, self, n_mc), names
-            )
-        else:
-            tables = [_bundle_for_table(self, n_mc, name) for name in names]
-        return dict(zip(names, tables))
+        observer = get_observer()
+        with observer.span(
+            "mcdb.instantiate_bundles", tables=len(names), n_mc=n_mc
+        ):
+            if backend is not None:
+                timed_tables = get_backend(backend).map(
+                    partial(_bundle_for_table, self, n_mc), names
+                )
+            else:
+                timed_tables = [
+                    _bundle_for_table(self, n_mc, name) for name in names
+                ]
+        # Per-bundle instantiation cost (Section 2.1's key trade-off):
+        # each bundle reports its own build time and size; values are
+        # recorded at the driver so they match on every backend.
+        observer.counter("mcdb.bundles_instantiated").add(len(names))
+        for name, (table, seconds) in zip(names, timed_tables):
+            observer.gauge("mcdb.bundle.rows", table=name).set(len(table))
+            observer.timer("mcdb.bundle.seconds", table=name).add(seconds)
+        return {
+            name: table for name, (table, _) in zip(names, timed_tables)
+        }
 
     def run_bundled(
         self,
@@ -216,8 +237,13 @@ class MonteCarloDatabase:
         iteration).  ``backend`` parallelizes bundle instantiation across
         random tables.
         """
-        bundles = self.instantiate_bundles(n_mc, backend=backend)
-        samples = np.asarray(query(bundles, self.db), dtype=float)
+        observer = get_observer()
+        observer.counter("mcdb.bundled_runs").inc()
+        observer.counter("mcdb.bundled_samples").add(n_mc)
+        with observer.span("mcdb.run_bundled", n_mc=n_mc):
+            bundles = self.instantiate_bundles(n_mc, backend=backend)
+            with observer.span("mcdb.bundled_query"):
+                samples = np.asarray(query(bundles, self.db), dtype=float)
         if samples.shape != (n_mc,):
             raise SimulationError(
                 f"bundled query returned shape {samples.shape}, "
@@ -239,8 +265,15 @@ def _naive_iteration(
 
 def _bundle_for_table(
     mcdb: MonteCarloDatabase, n_mc: int, name: str
-) -> BundledTable:
-    """Instantiate one random table's bundle on its dedicated stream."""
-    return mcdb._specs[name].instantiate_bundle(
+) -> Tuple[BundledTable, float]:
+    """Instantiate one random table's bundle on its dedicated stream.
+
+    Returns the bundle plus its own build seconds — measured where the
+    work ran (possibly a process-pool worker) and accounted at the
+    driver, the same driver-merge discipline as :class:`JobCounters`.
+    """
+    start = time.perf_counter()
+    table = mcdb._specs[name].instantiate_bundle(
         mcdb.db, mcdb._bundle_rng_for(name), n_mc
     )
+    return table, time.perf_counter() - start

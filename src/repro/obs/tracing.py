@@ -1,0 +1,207 @@
+"""Hierarchical tracing spans with Chrome-trace export.
+
+A span is one timed region; spans opened while another span is active on
+the same thread become its children, so a run decomposes into a tree
+(job -> map phase -> parallel.map, or particle filter -> per-step
+propose/resample).  Timestamps come from :func:`time.perf_counter`
+relative to the tracer's creation, so durations are monotonic and
+high-resolution.
+
+Two exports:
+
+* :meth:`Tracer.chrome_trace` — the Chrome/Perfetto ``traceEvents``
+  format (open in ``chrome://tracing`` or https://ui.perfetto.dev);
+  serialized with sorted keys so the JSON artifact is stable.
+* :meth:`Tracer.summary` — a plain-text tree that aggregates sibling
+  spans by name (40 ``assimilation.step`` spans render as one line with
+  ``calls=40``), for terminals and reports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One timed region of the trace tree."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "tid")
+
+    def __init__(self, name: str, attrs: Dict[str, Any], tid: int) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+        self.tid = tid
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now if the span is still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set(self, **attrs: Any) -> None:
+        """Attach or update attributes on an open span."""
+        self.attrs.update(attrs)
+
+    def walk(self):
+        """Yield this span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and closes it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Collects span trees, one stack per thread.
+
+    Span stacks are thread-local so nesting is always well-formed even
+    when driver code runs on several threads; completed root spans are
+    appended to a shared list under a lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: List[Span] = []
+        self._origin = time.perf_counter()
+        self._thread_ids: Dict[int, int] = {}
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._thread_ids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._thread_ids.setdefault(
+                    ident, len(self._thread_ids)
+                )
+        return tid
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("phase") as s: ...``."""
+        span = Span(name, attrs, self._tid())
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = self._stack()
+        # Close any children left open by non-local exits (exceptions).
+        while stack and stack[-1] is not span:
+            dangling = stack.pop()
+            if dangling.end is None:
+                dangling.end = span.end
+        if stack and stack[-1] is span:
+            stack.pop()
+        if not stack:
+            with self._lock:
+                self._roots.append(span)
+
+    def reset(self) -> None:
+        """Drop recorded spans and restart the clock origin."""
+        with self._lock:
+            self._roots = []
+            self._thread_ids = {}
+            self._origin = time.perf_counter()
+        self._local = threading.local()
+
+    @property
+    def roots(self) -> List[Span]:
+        """Completed top-level spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    # -- exports ------------------------------------------------------------
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The trace as a Chrome ``traceEvents`` document (plain dict)."""
+        events: List[Dict[str, Any]] = []
+        pid = os.getpid()
+        for root in self.roots:
+            for span in root.walk():
+                end = (
+                    span.end if span.end is not None else time.perf_counter()
+                )
+                events.append(
+                    {
+                        "name": span.name,
+                        "ph": "X",
+                        "ts": (span.start - self._origin) * 1e6,
+                        "dur": (end - span.start) * 1e6,
+                        "pid": pid,
+                        "tid": span.tid,
+                        "args": {
+                            k: span.attrs[k] for k in sorted(span.attrs)
+                        },
+                    }
+                )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_chrome_json(self, indent: int = 2) -> str:
+        """Chrome-trace document serialized with sorted keys."""
+        return json.dumps(self.chrome_trace(), sort_keys=True, indent=indent)
+
+    def summary(self) -> str:
+        """Plain-text tree; sibling spans aggregate by name."""
+        lines: List[str] = []
+        for root in self.roots:
+            self._summarize([root], 0, lines)
+        return "\n".join(lines) if lines else "(no spans recorded)"
+
+    def _summarize(
+        self, spans: List[Span], depth: int, lines: List[str]
+    ) -> None:
+        groups: Dict[str, List[Span]] = {}
+        order: List[str] = []
+        for span in spans:
+            if span.name not in groups:
+                groups[span.name] = []
+                order.append(span.name)
+            groups[span.name].append(span)
+        pad = "  " * depth
+        for name in order:
+            members = groups[name]
+            total = sum(s.duration for s in members)
+            line = f"{pad}{name}  total={total * 1e3:.3f}ms"
+            if len(members) > 1:
+                line += f"  calls={len(members)}"
+            single_attrs = members[0].attrs if len(members) == 1 else {}
+            if single_attrs:
+                rendered = " ".join(
+                    f"{k}={single_attrs[k]}" for k in sorted(single_attrs)
+                )
+                line += f"  [{rendered}]"
+            lines.append(line)
+            children = [c for s in members for c in s.children]
+            if children:
+                self._summarize(children, depth + 1, lines)

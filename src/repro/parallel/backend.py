@@ -19,11 +19,13 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import time
 import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
+from repro.obs import get_observer, suppressed
 
 #: Environment variable naming the default backend for the whole library.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
@@ -67,9 +69,21 @@ def _chunk(items: Sequence[Any], num_chunks: int) -> List[Sequence[Any]]:
     return chunks
 
 
-def _run_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
-    """Execute one contiguous chunk of tasks (runs inside a worker)."""
-    return [fn(item) for item in chunk]
+def _run_chunk(
+    fn: Callable[[Any], Any], chunk: Sequence[Any]
+) -> Tuple[List[Any], float]:
+    """Execute one contiguous chunk of tasks (runs inside a worker).
+
+    Returns the results along with the chunk's own wall-clock seconds so
+    the driver can account worker run time vs queue time.  Task bodies
+    execute under :func:`repro.obs.suppressed` — observability is
+    recorded at the driver from returned values, never from inside a
+    task, which keeps metrics identical on every backend.
+    """
+    start = time.perf_counter()
+    with suppressed():
+        results = [fn(item) for item in chunk]
+    return results, time.perf_counter() - start
 
 
 class Backend:
@@ -104,7 +118,14 @@ class SerialBackend(Backend):
     name = "serial"
 
     def map(self, fn, items, chunksize=None):
-        return [fn(item) for item in items]
+        items = list(items)
+        observer = get_observer()
+        observer.counter("parallel.map_calls").inc()
+        observer.counter("parallel.tasks").add(len(items))
+        with observer.span(
+            "parallel.map", backend=self.name, tasks=len(items)
+        ), suppressed():
+            return [fn(item) for item in items]
 
 
 class _PooledBackend(Backend):
@@ -136,8 +157,15 @@ class _PooledBackend(Backend):
 
     def map(self, fn, items, chunksize=None):
         items = list(items)
+        observer = get_observer()
+        observer.counter("parallel.map_calls").inc()
+        observer.counter("parallel.tasks").add(len(items))
         if len(items) <= 1 or not self._submittable(fn, items):
-            return [fn(item) for item in items]
+            with observer.span(
+                "parallel.map", backend=self.name, tasks=len(items),
+                inline=True,
+            ), suppressed():
+                return [fn(item) for item in items]
         if chunksize is None:
             # Several chunks per worker so stragglers rebalance.
             num_chunks = self.max_workers * 4
@@ -145,14 +173,27 @@ class _PooledBackend(Backend):
             if chunksize < 1:
                 raise SimulationError("chunksize must be >= 1")
             num_chunks = -(-len(items) // chunksize)
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_run_chunk, fn, chunk)
-            for chunk in _chunk(items, num_chunks)
-        ]
-        results: List[Any] = []
-        for future in futures:  # submission order == input order
-            results.extend(future.result())
+        chunks = _chunk(items, num_chunks)
+        with observer.span(
+            "parallel.map", backend=self.name, tasks=len(items),
+            chunks=len(chunks),
+        ):
+            pool = self._ensure_pool()
+            submitted = time.perf_counter()
+            futures = [
+                pool.submit(_run_chunk, fn, chunk) for chunk in chunks
+            ]
+            run_timer = observer.timer("parallel.chunk.run_seconds")
+            queue_timer = observer.timer("parallel.chunk.queue_seconds")
+            results: List[Any] = []
+            for future in futures:  # submission order == input order
+                chunk_results, run_seconds = future.result()
+                # Queue time: turnaround since submission minus the
+                # worker's own run time (clamped; retrieval overlaps).
+                turnaround = time.perf_counter() - submitted
+                run_timer.add(run_seconds)
+                queue_timer.add(max(turnaround - run_seconds, 0.0))
+                results.extend(chunk_results)
         return results
 
     def shutdown(self) -> None:

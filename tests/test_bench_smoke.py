@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from benchmarks._util import RESULTS_DIR, BenchConfig
 from benchmarks.bench_mcdb_tuple_bundles import (
     run_experiment as run_mcdb_experiment,
@@ -17,6 +19,8 @@ from benchmarks.bench_mcdb_tuple_bundles import (
 from benchmarks.bench_parallel_backends import (
     run_experiment as run_parallel_experiment,
 )
+
+pytestmark = pytest.mark.bench_smoke
 
 QUICK = BenchConfig(quick=True, backend="serial")
 

@@ -15,6 +15,7 @@ from repro.mapreduce import (
     identity_reducer,
     sum_reducer,
 )
+from repro.mapreduce.counters import _approximate_size
 
 
 def word_count_job(num_reducers: int = 4, combiner: bool = False):
@@ -89,6 +90,47 @@ class TestCounters:
 
     def test_summary_renders(self):
         assert "shuffled" in JobCounters().summary()
+
+    def test_summary_includes_custom_counters(self):
+        counters = JobCounters()
+        counters.increment("misses", 2)
+        counters.increment("hits", 7)
+        assert "custom[hits=7 misses=2]" in counters.summary()
+
+    def test_merge_matches_absorb(self):
+        a = JobCounters(records_read=3, shuffle_bytes=10)
+        a.increment("hits", 1)
+        b = JobCounters(records_mapped=4, shuffle_bytes=5)
+        b.increment("hits", 2)
+        merged = a.merge(b)
+        absorbed = JobCounters()
+        absorbed.absorb(a)
+        absorbed.absorb(b)
+        assert merged == absorbed
+        # merge leaves both operands untouched
+        assert a.shuffle_bytes == 10 and b.shuffle_bytes == 5
+
+
+class TestApproximateSize:
+    def test_str_counts_utf8_bytes(self):
+        assert _approximate_size("abc") == 3
+        assert _approximate_size("é") == 2  # 2 bytes in UTF-8, 1 char
+
+    def test_bytes_and_bytearray_count_length(self):
+        assert _approximate_size(b"abcd") == 4
+        assert _approximate_size(bytearray(5)) == 5
+
+    def test_containers_sum_their_elements(self):
+        flat = _approximate_size([1, 2.0, "ab"])
+        assert flat == 8 + 8 + 2 + 8  # elements + container overhead
+        assert _approximate_size({"k": 1}) == 1 + 8 + 8
+
+    def test_deep_nesting_is_capped(self):
+        nested: list = []
+        for _ in range(10_000):
+            nested = [nested]
+        # Must not RecursionError; deep tails get a flat charge.
+        assert _approximate_size(nested) > 0
 
     def test_last_counters_requires_history(self):
         with pytest.raises(SimulationError):
