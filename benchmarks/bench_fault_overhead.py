@@ -1,0 +1,137 @@
+"""BENCH_faults — the fault-injection/recovery layer's overhead.
+
+The :mod:`repro.faults` contract has two measurable halves:
+
+* **disabled** (no plan installed, no retry policy): every backend runs
+  the legacy zero-overhead execution path, so timings must sit within
+  noise of the pre-faults code — the ``faults_off_seconds`` column is
+  that evidence, recorded next to ``faults_on_seconds`` for the same
+  workload (the acceptance bar is off ≤ 1.1× the plain baseline).
+* **enabled** (a seeded :class:`~repro.faults.plan.FaultPlan` killing
+  real tasks, recovered by the default retry policy): outputs are
+  byte-identical to the failure-free run — recovery never perturbs a
+  result, it only costs the re-executed attempts.
+
+Workloads cover the fan-outs the recovery layer threads through: a
+MapReduce wordcount (map + reduce task retry) and a sharded particle
+filter (shard retry on pre-spawned streams).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._util import (
+    BenchConfig,
+    format_table,
+    save_json,
+    save_report,
+    timed,
+)
+from repro.faults import FaultPlan, injected
+
+
+def _wc_mapper(_key, line):
+    for word in line.split():
+        yield word, 1
+
+
+def _mapreduce_workload(config: BenchConfig):
+    from repro.mapreduce.job import MapReduceJob, sum_reducer
+    from repro.mapreduce.runtime import Cluster
+
+    lines = [
+        (None, f"alpha beta gamma delta w{i % 17}")
+        for i in range(100 if config.quick else 1500)
+    ]
+    job = MapReduceJob("faults-bench-wc", _wc_mapper, sum_reducer)
+
+    def run():
+        return sorted(
+            Cluster(num_workers=4, backend=config.backend).run(job, lines)
+        )
+
+    plan = FaultPlan(
+        failures={("mapreduce.map", 1): 1, ("mapreduce.reduce", 2): 1}
+    )
+    return f"mapreduce_wordcount(lines={len(lines)})", run, plan
+
+
+def _particle_filter_workload(config: BenchConfig):
+    from repro.assimilation import LinearGaussianSSM, particle_filter
+    from repro.stats import make_rng
+
+    steps = 10 if config.quick else 40
+    n_particles = 200 if config.quick else 2000
+    ssm = LinearGaussianSSM(a=0.9, q=0.5, r=0.5)
+    _, observations = ssm.simulate(steps, make_rng(0))
+    model = ssm.to_state_space_model()
+
+    def run():
+        result = particle_filter(
+            model,
+            observations,
+            n_particles,
+            backend=config.backend,
+            seed=1,
+            n_shards=4,
+        )
+        return result.filtered_means
+
+    plan = FaultPlan(failures={("pf.init", 0): 1, ("pf.shard", 2): 1})
+    return f"particle_filter(steps={steps}, N={n_particles})", run, plan
+
+
+def run_experiment(config: BenchConfig = BenchConfig()):
+    """Time each workload with injection disabled and enabled.
+
+    Returns ``(rows, outputs_identical)`` where each row is
+    ``(workload, faults_off_seconds, faults_on_seconds, on_off_ratio)``
+    and ``outputs_identical`` records that recovering from the injected
+    failures reproduced the failure-free output byte for byte.
+    """
+    rows = []
+    identical = {}
+    for name, run, plan in (
+        _mapreduce_workload(config),
+        _particle_filter_workload(config),
+    ):
+        run()  # warm caches/pools outside both timed regions
+        off_output, off_seconds = timed(run)
+        with injected(plan):
+            on_output, on_seconds = timed(run)
+        identical[name] = bool(
+            np.array_equal(np.asarray(off_output), np.asarray(on_output))
+        )
+        rows.append(
+            (name, off_seconds, on_seconds, on_seconds / off_seconds)
+        )
+    return rows, identical
+
+
+def test_fault_overhead(benchmark, bench_config):
+    rows, identical = benchmark.pedantic(
+        run_experiment, args=(bench_config,), rounds=1, iterations=1
+    )
+    headers = ["workload", "faults_off_seconds", "faults_on_seconds", "on/off"]
+    save_report("BENCH_faults", format_table(headers, rows))
+    save_json(
+        "BENCH_faults",
+        {
+            "config": {
+                "quick": bench_config.quick,
+                "backend": bench_config.backend,
+            },
+            "columns": headers,
+            "rows": [list(row) for row in rows],
+            "note": (
+                "faults_off_seconds is the legacy zero-overhead path (no "
+                "plan, no policy; the acceptance bar is <= 1.1x the "
+                "pre-faults baseline); faults_on_seconds recovers from a "
+                "seeded FaultPlan killing real map/reduce tasks and "
+                "particle shards. Outputs are byte-identical either way."
+            ),
+        },
+    )
+    # Recovery must never change results.
+    assert all(identical.values()), identical

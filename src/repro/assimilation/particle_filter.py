@@ -16,6 +16,7 @@ ALG2 benchmark a ground truth to converge to.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
@@ -28,6 +29,7 @@ from repro.assimilation.importance import (
 )
 from repro.assimilation.resampling import get_resampler
 from repro.errors import FilteringError
+from repro.faults.retry import RetryPolicy, TaskFailed
 from repro.obs import get_observer
 from repro.parallel.backend import Backend, get_backend
 from repro.stats.rng import RandomStreamFactory
@@ -96,6 +98,35 @@ def _initial_shard(
     return model.initial_sampler(np.random.default_rng(seq), count)
 
 
+def _drop_dead_shards(outputs: List[Any], scope: str) -> List[Any]:
+    """Filter out terminally failed shards (``on_shard_failure="degrade"``).
+
+    Collected :class:`TaskFailed` markers are removed with a loud
+    warning — the population shrinks, so the degraded run's estimate is
+    still a valid (if noisier) Monte Carlo answer but no longer
+    byte-identical to a failure-free one.  Losing *every* shard leaves
+    nothing to filter with and raises.
+    """
+    failures = [o for o in outputs if isinstance(o, TaskFailed)]
+    if not failures:
+        return outputs
+    survivors = [o for o in outputs if not isinstance(o, TaskFailed)]
+    dead = sorted(f.index for f in failures)
+    warnings.warn(
+        f"particle filter dropped {len(failures)} dead shard(s) {dead} "
+        f"in scope {scope!r}; degrading to {len(survivors)} of "
+        f"{len(outputs)} shards — the Monte Carlo population shrinks, so "
+        "results will differ from a failure-free run",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    if not survivors:
+        raise FilteringError(
+            f"every particle shard failed terminally in scope {scope!r}"
+        ) from failures[-1]
+    return survivors
+
+
 def _propose_shard(
     model: StateSpaceModel,
     proposal: Optional[Proposal],
@@ -134,6 +165,8 @@ def particle_filter(
     backend: Union[str, Backend, None] = None,
     seed: Optional[int] = None,
     n_shards: int = 8,
+    retry: Optional[RetryPolicy] = None,
+    on_shard_failure: str = "raise",
 ) -> FilterResult:
     """Algorithm 2 of the paper.
 
@@ -155,9 +188,26 @@ def particle_filter(
     resampling stay global.  Because the shard layout and streams depend
     only on ``(seed, n_shards, n_particles)`` — never on the backend or
     worker count — every backend produces byte-identical results.
+
+    Fault tolerance (parallel mode): failed shards are retried per
+    ``retry`` under the fault scopes ``"pf.init"`` / ``"pf.shard"``; a
+    retried shard re-runs on its pre-spawned stream, so a recovered run
+    stays byte-identical to a failure-free one.  When a shard exhausts
+    its attempts, ``on_shard_failure`` decides: ``"raise"`` (default)
+    propagates :class:`~repro.faults.retry.TaskFailed`, while
+    ``"degrade"`` drops the dead shard's particles with a
+    ``RuntimeWarning`` and filters on with a smaller population — a
+    smaller (but still valid) Monte Carlo estimate, mirroring how the
+    paper's ecosystem platforms survive worker loss mid-experiment.  A
+    run in which every shard survives is unaffected by the choice.
     """
     if n_particles < 2:
         raise FilteringError("need at least two particles")
+    if on_shard_failure not in ("raise", "degrade"):
+        raise FilteringError(
+            "on_shard_failure must be 'raise' or 'degrade', "
+            f"got {on_shard_failure!r}"
+        )
     observations = list(observations)
     if not observations:
         raise FilteringError("need at least one observation")
@@ -181,6 +231,9 @@ def particle_filter(
             block.size
             for block in np.array_split(np.arange(n_particles), shard_count)
         ]
+        shard_on_error = (
+            "collect" if on_shard_failure == "degrade" else "raise"
+        )
     elif rng is None:
         raise FilteringError(
             "sequential particle_filter needs an rng (or pass a backend "
@@ -201,16 +254,24 @@ def particle_filter(
         # Step 1: particles at time 0 (before the first observation).
         with observer.span("assimilation.init"):
             if parallel:
-                particles = np.concatenate(
-                    executor.map(
-                        partial(_initial_shard, model),
-                        [
-                            (factory.sequence(("pf", "init", s)), size)
-                            for s, size in enumerate(shard_sizes)
-                        ],
-                    ),
-                    axis=0,
+                shard_outputs = executor.map(
+                    partial(_initial_shard, model),
+                    [
+                        (factory.sequence(("pf", "init", s)), size)
+                        for s, size in enumerate(shard_sizes)
+                    ],
+                    scope="pf.init",
+                    retry=retry,
+                    on_error=shard_on_error,
                 )
+                particles = np.concatenate(
+                    _drop_dead_shards(shard_outputs, "pf.init"), axis=0
+                )
+                if particles.shape[0] < 2:
+                    raise FilteringError(
+                        "shard failures degraded the population below "
+                        "two particles"
+                    )
             else:
                 particles = model.initial_sampler(rng, n_particles)
         means: List[np.ndarray] = []
@@ -224,6 +285,13 @@ def particle_filter(
                 # Steps 6-9: propose and weight.
                 with observer.span("assimilation.propose"):
                     if parallel:
+                        # A degraded population may have shrunk below the
+                        # configured shard count; in a failure-free run
+                        # this is exactly ``shard_count``, so the stream
+                        # keys — and the results — are unchanged.
+                        effective_shards = min(
+                            shard_count, int(particles.shape[0])
+                        )
                         shard_results = executor.map(
                             partial(
                                 _propose_shard, model, proposal, observation
@@ -235,10 +303,16 @@ def particle_filter(
                                 )
                                 for s, shard in enumerate(
                                     np.array_split(
-                                        particles, shard_count, axis=0
+                                        particles, effective_shards, axis=0
                                     )
                                 )
                             ],
+                            scope="pf.shard",
+                            retry=retry,
+                            on_error=shard_on_error,
+                        )
+                        shard_results = _drop_dead_shards(
+                            shard_results, "pf.shard"
                         )
                         proposed = np.concatenate(
                             [r[0] for r in shard_results], axis=0
@@ -246,6 +320,11 @@ def particle_filter(
                         log_w = np.concatenate(
                             [r[1] for r in shard_results]
                         )
+                        if proposed.shape[0] < 2:
+                            raise FilteringError(
+                                "shard failures degraded the population "
+                                f"below two particles at step {step}"
+                            )
                     elif proposal is None:
                         proposed = model.transition_sampler(particles, rng)
                         log_w = model.observation_log_density(
@@ -302,7 +381,7 @@ def particle_filter(
                         time.perf_counter() - resample_start
                     )
                 observer.counter("assimilation.resampled_particles").add(
-                    n_particles
+                    int(particles.shape[0])
                 )
     observer.gauge("assimilation.log_likelihood").set(log_likelihood)
 

@@ -18,12 +18,27 @@ from repro.errors import FilteringError
 
 
 def _validate(weights: np.ndarray) -> np.ndarray:
+    """Check and normalize a weight vector.
+
+    Any nonnegative finite vector with a positive sum is a valid
+    (unnormalized) categorical distribution — callers accumulate weights
+    in unnormalized form all the time, and a sum of 0.99 from floating
+    point drift is not an error.  Only genuinely unusable inputs raise:
+    negative or non-finite entries, or a sum that is zero (or NaN, from
+    all-zero/overflowing inputs).
+    """
     w = np.asarray(weights, dtype=float)
     if w.ndim != 1 or w.size == 0:
         raise FilteringError("weights must be a non-empty vector")
-    if np.any(w < 0) or not np.isclose(w.sum(), 1.0, atol=1e-8):
-        raise FilteringError("weights must be normalized and nonnegative")
-    return w / w.sum()
+    if np.any(w < 0) or not np.all(np.isfinite(w)):
+        raise FilteringError("weights must be nonnegative and finite")
+    total = w.sum()
+    if not np.isfinite(total) or total <= 0.0:
+        raise FilteringError(
+            "weights must have a positive finite sum to normalize; "
+            f"got sum={total!r}"
+        )
+    return w / total
 
 
 def multinomial_resample(

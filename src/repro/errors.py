@@ -50,3 +50,13 @@ class GridError(ReproError):
 
 class FilteringError(ReproError):
     """A particle-filtering operation failed (e.g. total weight collapse)."""
+
+
+class FaultError(ReproError):
+    """Base class for fault-injection and task-recovery errors.
+
+    :mod:`repro.faults` derives its concrete errors from this class:
+    injected faults (:class:`repro.faults.InjectedFault`), per-task
+    timeouts (:class:`repro.faults.TaskTimeout`), and the terminal
+    :class:`repro.faults.TaskFailed` carrying the attempt history.
+    """

@@ -1,0 +1,73 @@
+"""repro.faults — deterministic fault injection and task recovery.
+
+The paper's ecosystem platforms (the Indemics-style HPC+RDBMS hybrid,
+SimSQL's database-valued Markov chains) assume that long-running
+stochastic jobs survive worker failures without invalidating the Monte
+Carlo estimate.  This subsystem makes failure a first-class,
+deterministic, observable event:
+
+* :class:`~repro.faults.plan.FaultPlan` — a seeded, replayable schedule
+  that makes specific task indices raise (or hang), as a pure function
+  of ``(seed, scope, index, attempt)``; install one with
+  :func:`set_fault_plan` / :func:`injected` or the ``REPRO_FAULTS``
+  environment variable;
+* :class:`~repro.faults.retry.RetryPolicy` — capped exponential
+  backoff, per-task timeouts, and a bound on attempts;
+* :class:`~repro.faults.retry.TaskFailed` — the terminal error carrying
+  the full :class:`~repro.faults.retry.AttemptRecord` history.
+
+Determinism-under-retry guarantee
+---------------------------------
+Tasks in this library are pure functions of their payload (including any
+pre-spawned ``SeedSequence``), and a retry re-executes the *original*
+payload.  A run that recovers from injected or real failures therefore
+produces byte-identical results — outputs and ``values`` metrics — to a
+failure-free run on every backend; ``faults.*`` counters record that the
+recovery happened.
+"""
+
+from repro.faults.plan import (
+    DEFAULT_CHAOS_RATE,
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    InjectedFault,
+    InjectedHang,
+    get_fault_plan,
+    injected,
+    parse_plan,
+    plan_from_env,
+    set_fault_plan,
+)
+from repro.faults.retry import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY,
+    AttemptRecord,
+    RetryPolicy,
+    RetryStats,
+    TaskFailed,
+    TaskTimeout,
+    run_with_retry,
+)
+from repro.errors import FaultError
+
+__all__ = [
+    "DEFAULT_CHAOS_RATE",
+    "DEFAULT_RETRY_POLICY",
+    "FAULTS_ENV_VAR",
+    "NO_RETRY",
+    "AttemptRecord",
+    "FaultError",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectedHang",
+    "RetryPolicy",
+    "RetryStats",
+    "TaskFailed",
+    "TaskTimeout",
+    "get_fault_plan",
+    "injected",
+    "parse_plan",
+    "plan_from_env",
+    "run_with_retry",
+    "set_fault_plan",
+]

@@ -1,0 +1,305 @@
+"""Deterministic fault injection: seeded, replayable failure scenarios.
+
+The reproducibility studies the ROADMAP builds on (EFECT, the
+discrete-event reproduction survey) locate the loss of bit-identity in
+stochastic experiments exactly at failure/retry boundaries.  The only
+way to *test* that boundary is to make failure itself deterministic: a
+:class:`FaultPlan` decides, as a pure function of ``(seed, scope,
+task_index, attempt)``, whether a given task attempt raises (or hangs).
+The decision never consults mutable RNG state, so the same plan replays
+the same failure scenario on every backend, every worker count, and
+every execution order — which is what lets the test suite assert that a
+run with injected faults recovers to byte-identical output.
+
+Plans are installed process-wide with :func:`set_fault_plan` (or the
+:func:`injected` context manager, or the ``REPRO_FAULTS`` environment
+variable) and consulted by the execution layer in
+:mod:`repro.parallel.backend`; task bodies never see the plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import FaultError
+
+#: Environment variable holding the process-wide fault-plan spec.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+_FALSEY = ("", "0", "false", "no", "off")
+_BARE_TRUTHY = ("1", "true", "yes", "on")
+
+#: Chaos rate used when ``REPRO_FAULTS`` is set to a bare truthy value
+#: with no explicit spec: roughly 1 in 100 tasks fails its first attempt.
+DEFAULT_CHAOS_RATE = 0.01
+
+
+class InjectedFault(FaultError):
+    """A failure raised on purpose by an active :class:`FaultPlan`."""
+
+    def __init__(self, scope: str, index: int, attempt: int) -> None:
+        self.scope = scope
+        self.index = index
+        self.attempt = attempt
+        super().__init__(
+            f"injected fault: task {index} in scope {scope!r} "
+            f"(attempt {attempt})"
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.scope, self.index, self.attempt))
+
+
+class InjectedHang(InjectedFault):
+    """An injected stall: the task sleeps, then fails.
+
+    With a :class:`~repro.faults.retry.RetryPolicy` per-task ``timeout``
+    shorter than the hang, the timeout fires first and the attempt is
+    recorded as a :class:`~repro.faults.retry.TaskTimeout` instead.
+    """
+
+    def __init__(
+        self, scope: str, index: int, attempt: int, seconds: float = 0.0
+    ) -> None:
+        super().__init__(scope, index, attempt)
+        self.seconds = seconds
+        self.args = (
+            f"injected hang: task {index} in scope {scope!r} stalled "
+            f"{seconds:g}s before failing (attempt {attempt})",
+        )
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.scope, self.index, self.attempt, self.seconds),
+        )
+
+
+def _stable_fraction(seed: int, scope: str, index: int) -> float:
+    """A reproducible uniform-ish fraction in ``[0, 1)`` for one task.
+
+    SHA-256 of the repr, like :mod:`repro.stats.rng` uses for stream
+    keys: stable across processes and hash randomization, so the set of
+    tasks a rate-based plan selects is a property of the plan alone.
+    """
+    digest = hashlib.sha256(
+        repr((seed, scope, index)).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A replayable schedule of task failures.
+
+    Two selection modes compose:
+
+    * ``failures`` maps ``(scope, task_index)`` to the number of leading
+      attempts that fail — the surgical mode tests use to kill exactly
+      one map task or particle shard;
+    * ``rate`` selects a stable pseudo-random subset of tasks (seeded by
+      ``seed``, optionally restricted to ``scopes``) whose first
+      ``fail_attempts`` attempts fail — the chaos mode behind
+      ``REPRO_FAULTS=rate=0.01``.
+
+    ``kind`` chooses the failure mechanics: ``"raise"`` throws
+    :class:`InjectedFault` immediately; ``"hang"`` sleeps
+    ``hang_seconds`` first (long enough to trip a configured per-task
+    timeout) and then throws :class:`InjectedHang` so an un-timed run
+    can never deadlock.
+    """
+
+    seed: int = 0
+    rate: float = 0.0
+    scopes: Tuple[str, ...] = ()
+    fail_attempts: int = 1
+    kind: str = "raise"
+    hang_seconds: float = 0.02
+    failures: Mapping[Tuple[str, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.kind not in ("raise", "hang"):
+            raise FaultError(
+                f"fault kind must be 'raise' or 'hang', got {self.kind!r}"
+            )
+        if self.fail_attempts < 1:
+            raise FaultError(
+                f"fail_attempts must be >= 1, got {self.fail_attempts}"
+            )
+        if self.hang_seconds < 0:
+            raise FaultError(
+                f"hang_seconds must be >= 0, got {self.hang_seconds}"
+            )
+        object.__setattr__(self, "scopes", tuple(self.scopes))
+        object.__setattr__(self, "failures", dict(self.failures))
+        for (scope, index), attempts in self.failures.items():
+            if attempts < 1:
+                raise FaultError(
+                    f"explicit failure count for ({scope!r}, {index}) "
+                    f"must be >= 1, got {attempts}"
+                )
+
+    # -- decision functions (pure) ------------------------------------------
+    def applies_to(self, scope: str) -> bool:
+        """Whether rate-based injection targets ``scope``."""
+        return not self.scopes or scope in self.scopes
+
+    def planned_failures(self, scope: str, index: int) -> int:
+        """How many leading attempts of task ``(scope, index)`` fail."""
+        explicit = self.failures.get((scope, index), 0)
+        if explicit:
+            return explicit
+        if (
+            self.rate > 0.0
+            and self.applies_to(scope)
+            and _stable_fraction(self.seed, scope, index) < self.rate
+        ):
+            return self.fail_attempts
+        return 0
+
+    def should_fail(self, scope: str, index: int, attempt: int) -> bool:
+        """Whether attempt ``attempt`` (0-based) of this task fails."""
+        return attempt < self.planned_failures(scope, index)
+
+    def fire(self, scope: str, index: int, attempt: int) -> None:
+        """Raise the planned fault for this attempt, if any."""
+        if not self.should_fail(scope, index, attempt):
+            return
+        if self.kind == "hang":
+            if self.hang_seconds > 0:
+                time.sleep(self.hang_seconds)
+            raise InjectedHang(scope, index, attempt, self.hang_seconds)
+        raise InjectedFault(scope, index, attempt)
+
+    def describe(self) -> str:
+        """One-line human-readable rendering (for logs and warnings)."""
+        parts = [f"seed={self.seed}"]
+        if self.rate:
+            parts.append(f"rate={self.rate:g}x{self.fail_attempts}")
+        if self.scopes:
+            parts.append("scopes=" + "|".join(self.scopes))
+        if self.failures:
+            rendered = ",".join(
+                f"{scope}:{index}:{count}"
+                for (scope, index), count in sorted(self.failures.items())
+            )
+            parts.append(f"at=[{rendered}]")
+        parts.append(f"kind={self.kind}")
+        return f"FaultPlan({', '.join(parts)})"
+
+
+def parse_plan(spec: str) -> Optional[FaultPlan]:
+    """Parse a ``REPRO_FAULTS`` spec string into a plan (or ``None``).
+
+    Falsey values (empty, ``0``, ``off`` …) disable injection.  A bare
+    truthy value (``1``, ``on`` …) enables chaos mode at
+    :data:`DEFAULT_CHAOS_RATE`.  Otherwise the spec is a comma-separated
+    ``key=value`` list::
+
+        REPRO_FAULTS="rate=0.02,seed=7,scopes=mapreduce.map|pf.shard"
+        REPRO_FAULTS="at=mapreduce.map:3|pf.shard:0:2,kind=hang"
+
+    Keys: ``seed`` (int), ``rate`` (float in [0,1]), ``scopes``
+    (``|``-separated scope names), ``attempts`` (leading attempts that
+    fail for rate-selected tasks), ``kind`` (``raise``/``hang``),
+    ``hang`` (hang seconds), ``at`` (``|``-separated
+    ``scope:index[:attempts]`` explicit failures).
+    """
+    text = spec.strip()
+    if text.lower() in _FALSEY:
+        return None
+    if text.lower() in _BARE_TRUTHY:
+        return FaultPlan(rate=DEFAULT_CHAOS_RATE)
+    kwargs: Dict[str, object] = {}
+    failures: Dict[Tuple[str, int], int] = {}
+    try:
+        for entry in text.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            key, _, value = entry.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            if key == "seed":
+                kwargs["seed"] = int(value)
+            elif key == "rate":
+                kwargs["rate"] = float(value)
+            elif key == "scopes":
+                kwargs["scopes"] = tuple(
+                    s for s in (p.strip() for p in value.split("|")) if s
+                )
+            elif key == "attempts":
+                kwargs["fail_attempts"] = int(value)
+            elif key == "kind":
+                kwargs["kind"] = value.lower()
+            elif key == "hang":
+                kwargs["hang_seconds"] = float(value)
+            elif key == "at":
+                for target in value.split("|"):
+                    target = target.strip()
+                    if not target:
+                        continue
+                    fields: List[str] = target.rsplit(":", 2)
+                    if len(fields) == 3 and fields[2].isdigit() and (
+                        fields[1].lstrip("-").isdigit()
+                    ):
+                        scope, index, count = fields
+                        failures[(scope, int(index))] = int(count)
+                    else:
+                        scope, _, index = target.rpartition(":")
+                        failures[(scope, int(index))] = 1
+            else:
+                raise FaultError(
+                    f"unknown {FAULTS_ENV_VAR} key {key!r} in {spec!r}"
+                )
+    except (ValueError, TypeError) as exc:
+        raise FaultError(
+            f"malformed {FAULTS_ENV_VAR} spec {spec!r}: {exc}"
+        ) from exc
+    if failures:
+        kwargs["failures"] = failures
+    return FaultPlan(**kwargs)  # type: ignore[arg-type]
+
+
+def plan_from_env(environ=os.environ) -> Optional[FaultPlan]:
+    """The plan requested by ``REPRO_FAULTS``, or ``None``."""
+    return parse_plan(environ.get(FAULTS_ENV_VAR, ""))
+
+
+#: Process-wide active plan (single-slot; the indirection keeps
+#: :func:`get_fault_plan` monkeypatch-free for tests).
+_ACTIVE: List[Optional[FaultPlan]] = [plan_from_env()]
+
+
+def get_fault_plan() -> Optional[FaultPlan]:
+    """The currently installed plan (``None`` = injection disabled)."""
+    return _ACTIVE[0]
+
+
+def set_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` process-wide (``None`` disables injection)."""
+    _ACTIVE[0] = plan
+
+
+@contextmanager
+def injected(plan: Optional[FaultPlan]):
+    """Install ``plan`` for the duration of a block, then restore.
+
+    The standard way tests run a replayable failure scenario::
+
+        with injected(FaultPlan(failures={("mapreduce.map", 1): 1})):
+            cluster.run(job, inputs, counters)
+    """
+    previous = _ACTIVE[0]
+    _ACTIVE[0] = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE[0] = previous

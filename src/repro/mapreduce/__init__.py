@@ -7,6 +7,7 @@ grouping) plus counters that expose shuffle volume — the quantity the
 paper's DSGD discussion turns on.
 """
 
+from repro.mapreduce.checkpoint import ChainCheckpoint, ChainState
 from repro.mapreduce.counters import JobCounters
 from repro.mapreduce.job import (
     MapReduceJob,
@@ -17,6 +18,8 @@ from repro.mapreduce.job import (
 from repro.mapreduce.runtime import Cluster
 
 __all__ = [
+    "ChainCheckpoint",
+    "ChainState",
     "Cluster",
     "JobCounters",
     "MapReduceJob",

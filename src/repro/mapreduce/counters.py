@@ -23,7 +23,14 @@ COUNTER_FIELDS: Tuple[str, ...] = (
     "shuffle_bytes",
     "records_reduced",
     "records_written",
+    "tasks_retried",
+    "tasks_failed",
 )
+
+#: The recovery subset of :data:`COUNTER_FIELDS`: zero in a fault-free
+#: run, so the runtime emits them into the metrics registry only when
+#: nonzero — keeping fault-free snapshots identical to pre-faults ones.
+RECOVERY_FIELDS: Tuple[str, ...] = ("tasks_retried", "tasks_failed")
 
 
 @dataclass
@@ -36,6 +43,10 @@ class JobCounters:
     shuffle_bytes: int = 0
     records_reduced: int = 0
     records_written: int = 0
+    #: Tasks that failed at least one attempt but eventually succeeded.
+    tasks_retried: int = 0
+    #: Tasks that exhausted every attempt (the job raised ``TaskFailed``).
+    tasks_failed: int = 0
     custom: Dict[str, int] = field(default_factory=dict)
 
     def increment(self, name: str, amount: int = 1) -> None:
@@ -78,6 +89,10 @@ class JobCounters:
             f"(~{self.shuffle_bytes} B) reduced={self.records_reduced} "
             f"written={self.records_written}"
         )
+        if self.tasks_retried:
+            text += f" retried={self.tasks_retried}"
+        if self.tasks_failed:
+            text += f" failed={self.tasks_failed}"
         if self.custom:
             rendered = " ".join(
                 f"{name}={self.custom[name]}" for name in sorted(self.custom)

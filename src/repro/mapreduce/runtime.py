@@ -23,7 +23,13 @@ from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
-from repro.mapreduce.counters import COUNTER_FIELDS, JobCounters
+from repro.faults.retry import RetryPolicy, TaskFailed
+from repro.mapreduce.checkpoint import ChainCheckpoint
+from repro.mapreduce.counters import (
+    COUNTER_FIELDS,
+    RECOVERY_FIELDS,
+    JobCounters,
+)
 from repro.mapreduce.job import KeyValue, MapReduceJob
 from repro.obs import get_observer
 from repro.parallel.backend import Backend, get_backend
@@ -94,6 +100,17 @@ class Cluster:
         ``None`` to resolve from the ``REPRO_BACKEND`` environment
         variable (default ``serial``).  Outputs and counters are
         identical for every backend.
+    retry:
+        Optional :class:`~repro.faults.retry.RetryPolicy` governing how
+        failed map/reduce tasks are re-executed (``None`` uses the
+        default policy whenever a fault plan is active, and runs the
+        zero-overhead path otherwise).  A retried task re-runs on its
+        original split/partition, so recovered jobs produce the same
+        output and record counters as failure-free ones;
+        ``counters.tasks_retried`` records that recovery happened, and a
+        task that exhausts its attempts raises
+        :class:`~repro.faults.retry.TaskFailed` after incrementing
+        ``counters.tasks_failed``.
 
     Examples
     --------
@@ -110,11 +127,13 @@ class Cluster:
         self,
         num_workers: int = 4,
         backend: Union[str, Backend, None] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if num_workers < 1:
             raise SimulationError("cluster needs at least one worker")
         self.num_workers = num_workers
         self.backend = get_backend(backend)
+        self.retry = retry
         self.history: List[Tuple[str, JobCounters]] = []
 
     # -- public API ---------------------------------------------------------
@@ -139,28 +158,51 @@ class Cluster:
         # Callers may hand in pre-loaded counters; only this job's deltas
         # are re-emitted into the metrics registry afterwards.
         baseline = JobCounters().merge(counters)
-        with observer.span("mapreduce.job", job=job.name):
-            with observer.span("mapreduce.split"):
-                splits = self._split(list(inputs), counters)
-            map_outputs: List[List[KeyValue]] = []
-            with observer.span("mapreduce.map", tasks=len(splits)):
-                for task_output, task_counters in self.backend.map(
-                    partial(_run_map_task, job), splits
+        try:
+            with observer.span("mapreduce.job", job=job.name):
+                with observer.span("mapreduce.split"):
+                    splits = self._split(list(inputs), counters)
+                map_outputs: List[List[KeyValue]] = []
+                with observer.span("mapreduce.map", tasks=len(splits)):
+                    map_results, map_stats = self.backend.map_with_stats(
+                        partial(_run_map_task, job),
+                        splits,
+                        scope="mapreduce.map",
+                        retry=self.retry,
+                    )
+                    counters.tasks_retried += map_stats.tasks_retried
+                    for task_output, task_counters in map_results:
+                        map_outputs.append(task_output)
+                        counters.absorb(task_counters)
+                with observer.span("mapreduce.shuffle"):
+                    partitions = self._shuffle(
+                        job, map_outputs, counters, num_reducers
+                    )
+                output: List[KeyValue] = []
+                with observer.span(
+                    "mapreduce.reduce", partitions=len(partitions)
                 ):
-                    map_outputs.append(task_output)
-                    counters.absorb(task_counters)
-            with observer.span("mapreduce.shuffle"):
-                partitions = self._shuffle(
-                    job, map_outputs, counters, num_reducers
-                )
-            output: List[KeyValue] = []
-            with observer.span("mapreduce.reduce", partitions=len(partitions)):
-                for task_output, task_counters in self.backend.map(
-                    partial(_run_reduce_task, job), partitions
-                ):
-                    output.extend(task_output)
-                    counters.absorb(task_counters)
-            counters.records_written += len(output)
+                    red_results, red_stats = self.backend.map_with_stats(
+                        partial(_run_reduce_task, job),
+                        partitions,
+                        scope="mapreduce.reduce",
+                        retry=self.retry,
+                    )
+                    counters.tasks_retried += red_stats.tasks_retried
+                    for task_output, task_counters in red_results:
+                        output.extend(task_output)
+                        counters.absorb(task_counters)
+                counters.records_written += len(output)
+        except TaskFailed:
+            # The job is lost, but its partial accounting is not: record
+            # the terminal failure so post-mortems see which job died and
+            # how far it got, then let the error (with its attempt
+            # history) propagate to the caller.
+            counters.tasks_failed += 1
+            self.history.append((job.name, counters))
+            if observer.enabled:
+                self._emit_metrics(observer, counters, baseline)
+            raise
         self.history.append((job.name, counters))
         if observer.enabled:
             self._emit_metrics(observer, counters, baseline)
@@ -180,6 +222,11 @@ class Cluster:
         observer.counter("mapreduce.jobs").inc()
         for name in COUNTER_FIELDS:
             delta = getattr(counters, name) - getattr(baseline, name)
+            if name in RECOVERY_FIELDS and not delta:
+                # Recovery counters appear only when recovery happened,
+                # so fault-free snapshots stay byte-identical to runs of
+                # the library predating fault injection.
+                continue
             observer.counter(f"mapreduce.{name}").add(delta)
         for name in sorted(counters.custom):
             delta = counters.custom[name] - baseline.custom.get(name, 0)
@@ -190,17 +237,34 @@ class Cluster:
         self,
         jobs: Sequence[MapReduceJob],
         inputs: Iterable[KeyValue],
+        checkpoint: Optional[ChainCheckpoint] = None,
     ) -> Tuple[List[KeyValue], JobCounters]:
         """Execute a pipeline of jobs, feeding each job's output to the next.
 
-        Returns the final output along with merged counters over all stages.
+        Returns the final output along with merged counters over all
+        stages.  With a :class:`~repro.mapreduce.checkpoint.ChainCheckpoint`,
+        every completed link's output and running counters are recorded
+        (and persisted, for file-backed checkpoints), and a re-run after
+        a crash resumes from the first incomplete link — completed links
+        are never re-executed, and the resumed chain's final output and
+        counters are byte-identical to an uninterrupted run.
         """
+        jobs = list(jobs)
         total = JobCounters()
         current: List[KeyValue] = list(inputs)
-        for job in jobs:
+        first_link = 0
+        if checkpoint is not None:
+            resumed = checkpoint.bind([job.name for job in jobs])
+            if resumed is not None:
+                first_link = resumed.link + 1
+                current = list(resumed.output)
+                total = JobCounters().merge(resumed.counters)
+        for link in range(first_link, len(jobs)):
             stage_counters = JobCounters()
-            current = self.run(job, current, stage_counters)
+            current = self.run(jobs[link], current, stage_counters)
             total = total.merge(stage_counters)
+            if checkpoint is not None:
+                checkpoint.record(link, current, total)
         return current, total
 
     def last_counters(self) -> JobCounters:

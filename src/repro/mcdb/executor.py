@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.engine.catalog import Database
 from repro.errors import SimulationError
+from repro.faults.retry import RetryPolicy
 from repro.mcdb.random_table import RandomTableSpec
 from repro.mcdb.tuple_bundle import BundledTable
 from repro.obs import get_observer
@@ -147,6 +148,7 @@ class MonteCarloDatabase:
         query: Callable[[Database], float],
         n_mc: int,
         backend: Union[str, Backend, None] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> QueryDistribution:
         """Execute ``query`` on ``n_mc`` fresh database instances.
 
@@ -156,7 +158,10 @@ class MonteCarloDatabase:
         Each iteration already draws from its own ``(seed, i)`` stream, so
         iterations are independent tasks: ``backend`` fans them out across
         a :mod:`repro.parallel` backend with samples byte-identical to the
-        serial loop (``backend=None``).
+        serial loop (``backend=None``).  Failed iterations are retried
+        per ``retry`` under the fault scope ``"mcdb.naive"``; a retried
+        iteration re-runs on the same stream, so recovered samples are
+        byte-identical too.
         """
         if n_mc < 1:
             raise SimulationError("n_mc must be >= 1")
@@ -167,7 +172,10 @@ class MonteCarloDatabase:
             if backend is not None:
                 samples = np.asarray(
                     get_backend(backend).map(
-                        partial(_naive_iteration, self, query), range(n_mc)
+                        partial(_naive_iteration, self, query),
+                        range(n_mc),
+                        scope="mcdb.naive",
+                        retry=retry,
                     )
                 )
             else:
@@ -190,13 +198,17 @@ class MonteCarloDatabase:
         )
 
     def instantiate_bundles(
-        self, n_mc: int, backend: Union[str, Backend, None] = None
+        self,
+        n_mc: int,
+        backend: Union[str, Backend, None] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> Dict[str, BundledTable]:
         """Generate tuple bundles (all MC iterations at once) per table.
 
         Tables use dedicated streams, so multi-table schemas instantiate
         their bundles concurrently through ``backend`` with identical
-        results to the serial path.
+        results to the serial path.  Failed per-table instantiations are
+        retried per ``retry`` under the fault scope ``"mcdb.bundle"``.
         """
         if n_mc < 1:
             raise SimulationError("n_mc must be >= 1")
@@ -207,7 +219,10 @@ class MonteCarloDatabase:
         ):
             if backend is not None:
                 timed_tables = get_backend(backend).map(
-                    partial(_bundle_for_table, self, n_mc), names
+                    partial(_bundle_for_table, self, n_mc),
+                    names,
+                    scope="mcdb.bundle",
+                    retry=retry,
                 )
             else:
                 timed_tables = [
@@ -229,19 +244,22 @@ class MonteCarloDatabase:
         query: Callable[[Dict[str, BundledTable], Database], np.ndarray],
         n_mc: int,
         backend: Union[str, Backend, None] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> QueryDistribution:
         """Execute a bundle-aware ``query`` exactly once.
 
         ``query`` receives the bundles plus the deterministic database and
         returns an array of length ``n_mc`` (one query-result sample per
         iteration).  ``backend`` parallelizes bundle instantiation across
-        random tables.
+        random tables, with per-table retry governed by ``retry``.
         """
         observer = get_observer()
         observer.counter("mcdb.bundled_runs").inc()
         observer.counter("mcdb.bundled_samples").add(n_mc)
         with observer.span("mcdb.run_bundled", n_mc=n_mc):
-            bundles = self.instantiate_bundles(n_mc, backend=backend)
+            bundles = self.instantiate_bundles(
+                n_mc, backend=backend, retry=retry
+            )
             with observer.span("mcdb.bundled_query"):
                 samples = np.asarray(query(bundles, self.db), dtype=float)
         if samples.shape != (n_mc,):

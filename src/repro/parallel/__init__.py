@@ -26,6 +26,8 @@ the only thing a backend may change is wall-clock time — never a single
 random draw, counter value, or output byte.
 """
 
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy, RetryStats, TaskFailed
 from repro.parallel.backend import (
     Backend,
     ProcessBackend,
@@ -40,8 +42,12 @@ from repro.stats.rng import task_seed_sequences
 
 __all__ = [
     "Backend",
+    "FaultPlan",
     "ProcessBackend",
+    "RetryPolicy",
+    "RetryStats",
     "SerialBackend",
+    "TaskFailed",
     "ThreadBackend",
     "available_backends",
     "default_worker_count",

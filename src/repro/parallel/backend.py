@@ -9,9 +9,24 @@ fixed order for determinism.
 The process backend submits tasks in contiguous chunks (amortizing
 pickle + IPC overhead over many small tasks) and requires picklable task
 closures; when a task function or its payload cannot be pickled — e.g. a
-lambda mapper defined inside a test — it degrades gracefully to in-process
-execution rather than failing, so a globally configured
+lambda mapper defined inside a test, or a payload deep in the task list
+that the cheap up-front probe could not see — it degrades gracefully to
+in-process execution rather than failing, so a globally configured
 ``REPRO_BACKEND=process`` never breaks a workload.
+
+Fault tolerance
+---------------
+Every backend executes tasks through the same per-task recovery
+primitive (:func:`repro.faults.retry.run_with_retry`): an installed
+:class:`~repro.faults.plan.FaultPlan` injects deterministic failures,
+and a :class:`~repro.faults.retry.RetryPolicy` re-executes failed
+attempts with capped exponential backoff.  Because a retry re-runs the
+task's *original* payload (including its pre-spawned ``SeedSequence``),
+a recovered run is byte-identical to a failure-free one; the
+:class:`~repro.faults.retry.RetryStats` merged at the driver are a pure
+function of the plan, so ``faults.*`` metrics match across backends.
+When neither a plan nor a policy is active, the legacy zero-overhead
+path runs and no ``faults.*`` metric is ever created.
 """
 
 from __future__ import annotations
@@ -21,10 +36,23 @@ import os
 import pickle
 import time
 import warnings
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan, get_fault_plan
+from repro.faults.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    RetryStats,
+    TaskFailed,
+    run_with_retry,
+)
 from repro.obs import get_observer, suppressed
 
 #: Environment variable naming the default backend for the whole library.
@@ -69,29 +97,125 @@ def _chunk(items: Sequence[Any], num_chunks: int) -> List[Sequence[Any]]:
     return chunks
 
 
+def _resolve_recovery(
+    retry: Optional[RetryPolicy], faults: Optional[FaultPlan]
+) -> Tuple[Optional[RetryPolicy], Optional[FaultPlan]]:
+    """Resolve the effective (policy, plan) for one ``map`` call.
+
+    ``faults=None`` reads the process-wide plan (``REPRO_FAULTS`` or
+    :func:`repro.faults.set_fault_plan`).  With a plan but no explicit
+    policy, :data:`DEFAULT_RETRY_POLICY` engages so injected faults are
+    survivable by default; with neither, ``(None, None)`` selects the
+    legacy zero-overhead execution path.
+    """
+    plan = faults if faults is not None else get_fault_plan()
+    policy = retry
+    if policy is None and plan is not None:
+        policy = DEFAULT_RETRY_POLICY
+    return policy, plan
+
+
+def _run_tasks(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    start_index: int,
+    scope: str,
+    policy: Optional[RetryPolicy],
+    plan: Optional[FaultPlan],
+    on_error: str,
+    stats: RetryStats,
+) -> List[Any]:
+    """Ordered task execution shared by every backend and chunk worker.
+
+    ``start_index`` offsets task indices so fault-plan decisions key on
+    the task's *global* position in the fan-out, never its chunk-local
+    one — chunk layout differs per backend, injection must not.  With
+    ``on_error="collect"``, a terminally failed task contributes its
+    :class:`TaskFailed` object in place of a result (shard-level
+    degradation in the particle filter); the default re-raises.
+    """
+    if policy is None:
+        return [fn(item) for item in items]
+    results: List[Any] = []
+    for offset, item in enumerate(items):
+        try:
+            results.append(
+                run_with_retry(
+                    fn,
+                    item,
+                    scope=scope,
+                    index=start_index + offset,
+                    policy=policy,
+                    plan=plan,
+                    stats=stats,
+                )
+            )
+        except TaskFailed as failure:
+            if on_error != "collect":
+                raise
+            results.append(failure)
+    return results
+
+
 def _run_chunk(
-    fn: Callable[[Any], Any], chunk: Sequence[Any]
-) -> Tuple[List[Any], float]:
+    fn: Callable[[Any], Any],
+    chunk: Sequence[Any],
+    start_index: int = 0,
+    scope: str = "parallel",
+    policy: Optional[RetryPolicy] = None,
+    plan: Optional[FaultPlan] = None,
+    on_error: str = "raise",
+) -> Tuple[List[Any], float, RetryStats]:
     """Execute one contiguous chunk of tasks (runs inside a worker).
 
     Returns the results along with the chunk's own wall-clock seconds so
-    the driver can account worker run time vs queue time.  Task bodies
-    execute under :func:`repro.obs.suppressed` — observability is
-    recorded at the driver from returned values, never from inside a
-    task, which keeps metrics identical on every backend.
+    the driver can account worker run time vs queue time, plus the
+    chunk's :class:`RetryStats` for deterministic driver-side merging.
+    Task bodies execute under :func:`repro.obs.suppressed` —
+    observability is recorded at the driver from returned values, never
+    from inside a task, which keeps metrics identical on every backend.
     """
+    stats = RetryStats()
     start = time.perf_counter()
     with suppressed():
-        results = [fn(item) for item in chunk]
-    return results, time.perf_counter() - start
+        results = _run_tasks(
+            fn, chunk, start_index, scope, policy, plan, on_error, stats
+        )
+    return results, time.perf_counter() - start, stats
+
+
+def _emit_fault_stats(observer, stats: RetryStats) -> None:
+    """Publish one map call's recovery accounting as ``faults.*`` metrics.
+
+    Counters are created only when nonzero, so fault-free runs keep
+    snapshots free of ``faults.*`` keys (byte-identical to pre-faults
+    baselines); when created, the counts are pure functions of the
+    installed plan, so they match across backends.  Planned backoff
+    lands in a timer (the wall-clock section) next to the real sleep.
+    """
+    if stats.injected:
+        observer.counter("faults.injected").add(stats.injected)
+    if stats.retries:
+        observer.counter("faults.retries").add(stats.retries)
+    if stats.tasks_retried:
+        observer.counter("faults.tasks_retried").add(stats.tasks_retried)
+    if stats.tasks_failed:
+        observer.counter("faults.tasks_failed").add(stats.tasks_failed)
+        with observer.span("faults.failure", tasks_failed=stats.tasks_failed):
+            pass
+    if stats.backoff_seconds:
+        observer.timer("faults.backoff_seconds").add(stats.backoff_seconds)
 
 
 class Backend:
     """Protocol for execution backends.
 
-    Subclasses override :meth:`map`; the contract is strict ordering —
-    ``backend.map(fn, items)[i] == fn(items[i])`` regardless of the
-    actual execution schedule.
+    Subclasses override :meth:`map_with_stats`; the contract is strict
+    ordering — ``backend.map(fn, items)[i] == fn(items[i])`` regardless
+    of the actual execution schedule — plus per-task recovery: injected
+    or real failures are retried per the resolved
+    :class:`~repro.faults.retry.RetryPolicy`, and terminal failures
+    raise :class:`~repro.faults.retry.TaskFailed`.
     """
 
     name: str = "abstract"
@@ -101,8 +225,42 @@ class Backend:
         fn: Callable[[Any], Any],
         items: Sequence[Any],
         chunksize: Optional[int] = None,
+        *,
+        scope: str = "parallel",
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        on_error: str = "raise",
     ) -> List[Any]:
         """Apply ``fn`` to every item, returning results in input order."""
+        return self.map_with_stats(
+            fn,
+            items,
+            chunksize,
+            scope=scope,
+            retry=retry,
+            faults=faults,
+            on_error=on_error,
+        )[0]
+
+    def map_with_stats(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        chunksize: Optional[int] = None,
+        *,
+        scope: str = "parallel",
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        on_error: str = "raise",
+    ) -> Tuple[List[Any], RetryStats]:
+        """Ordered map returning ``(results, RetryStats)``.
+
+        ``scope`` names the fan-out for fault-plan targeting (e.g.
+        ``"mapreduce.map"``, ``"pf.shard"``); ``retry`` overrides the
+        recovery policy; ``faults`` overrides the process-wide plan;
+        ``on_error="collect"`` substitutes :class:`TaskFailed` objects
+        for terminally failed results instead of raising.
+        """
         raise NotImplementedError
 
     def shutdown(self) -> None:
@@ -117,15 +275,37 @@ class SerialBackend(Backend):
 
     name = "serial"
 
-    def map(self, fn, items, chunksize=None):
+    def map_with_stats(
+        self,
+        fn,
+        items,
+        chunksize=None,
+        *,
+        scope="parallel",
+        retry=None,
+        faults=None,
+        on_error="raise",
+    ):
         items = list(items)
         observer = get_observer()
         observer.counter("parallel.map_calls").inc()
         observer.counter("parallel.tasks").add(len(items))
-        with observer.span(
-            "parallel.map", backend=self.name, tasks=len(items)
-        ), suppressed():
-            return [fn(item) for item in items]
+        policy, plan = _resolve_recovery(retry, faults)
+        stats = RetryStats()
+        if not items:
+            return [], stats
+        try:
+            with observer.span(
+                "parallel.map", backend=self.name, tasks=len(items)
+            ), suppressed():
+                results = _run_tasks(
+                    fn, items, 0, scope, policy, plan, on_error, stats
+                )
+        except TaskFailed:
+            _emit_fault_stats(observer, stats)
+            raise
+        _emit_fault_stats(observer, stats)
+        return results, stats
 
 
 class _PooledBackend(Backend):
@@ -155,17 +335,53 @@ class _PooledBackend(Backend):
     def _submittable(self, fn, items) -> bool:
         return True
 
-    def map(self, fn, items, chunksize=None):
-        items = list(items)
-        observer = get_observer()
-        observer.counter("parallel.map_calls").inc()
-        observer.counter("parallel.tasks").add(len(items))
-        if len(items) <= 1 or not self._submittable(fn, items):
+    def _fallback_inline(
+        self, fn, items, scope, policy, plan, on_error, observer
+    ) -> Tuple[List[Any], RetryStats]:
+        """Execute the whole map in-process (probe or pool-side fallback).
+
+        Tasks are pure functions of their payloads, so re-running any
+        that a worker may already have completed reproduces the same
+        results; retry statistics are recomputed from scratch for the
+        same reason.
+        """
+        stats = RetryStats()
+        try:
             with observer.span(
                 "parallel.map", backend=self.name, tasks=len(items),
                 inline=True,
             ), suppressed():
-                return [fn(item) for item in items]
+                results = _run_tasks(
+                    fn, items, 0, scope, policy, plan, on_error, stats
+                )
+        except TaskFailed:
+            _emit_fault_stats(observer, stats)
+            raise
+        _emit_fault_stats(observer, stats)
+        return results, stats
+
+    def map_with_stats(
+        self,
+        fn,
+        items,
+        chunksize=None,
+        *,
+        scope="parallel",
+        retry=None,
+        faults=None,
+        on_error="raise",
+    ):
+        items = list(items)
+        observer = get_observer()
+        observer.counter("parallel.map_calls").inc()
+        observer.counter("parallel.tasks").add(len(items))
+        policy, plan = _resolve_recovery(retry, faults)
+        if not items:
+            return [], RetryStats()
+        if len(items) == 1 or not self._submittable(fn, items):
+            return self._fallback_inline(
+                fn, items, scope, policy, plan, on_error, observer
+            )
         if chunksize is None:
             # Several chunks per worker so stragglers rebalance.
             num_chunks = self.max_workers * 4
@@ -174,27 +390,91 @@ class _PooledBackend(Backend):
                 raise SimulationError("chunksize must be >= 1")
             num_chunks = -(-len(items) // chunksize)
         chunks = _chunk(items, num_chunks)
-        with observer.span(
-            "parallel.map", backend=self.name, tasks=len(items),
-            chunks=len(chunks),
-        ):
-            pool = self._ensure_pool()
-            submitted = time.perf_counter()
-            futures = [
-                pool.submit(_run_chunk, fn, chunk) for chunk in chunks
-            ]
-            run_timer = observer.timer("parallel.chunk.run_seconds")
-            queue_timer = observer.timer("parallel.chunk.queue_seconds")
-            results: List[Any] = []
-            for future in futures:  # submission order == input order
-                chunk_results, run_seconds = future.result()
-                # Queue time: turnaround since submission minus the
-                # worker's own run time (clamped; retrieval overlaps).
-                turnaround = time.perf_counter() - submitted
-                run_timer.add(run_seconds)
-                queue_timer.add(max(turnaround - run_seconds, 0.0))
-                results.extend(chunk_results)
-        return results
+        starts: List[int] = []
+        position = 0
+        for chunk in chunks:
+            starts.append(position)
+            position += len(chunk)
+        stats = RetryStats()
+        futures: List[Any] = []
+        waiting_on: Optional[int] = None
+        try:
+            with observer.span(
+                "parallel.map", backend=self.name, tasks=len(items),
+                chunks=len(chunks),
+            ):
+                pool = self._ensure_pool()
+                submitted = time.perf_counter()
+                futures = [
+                    pool.submit(
+                        _run_chunk,
+                        fn,
+                        chunk,
+                        start,
+                        scope,
+                        policy,
+                        plan,
+                        on_error,
+                    )
+                    for chunk, start in zip(chunks, starts)
+                ]
+                run_timer = observer.timer("parallel.chunk.run_seconds")
+                queue_timer = observer.timer("parallel.chunk.queue_seconds")
+                results: List[Any] = []
+                for position, future in enumerate(futures):
+                    # Submission order == input order.
+                    waiting_on = position
+                    chunk_results, run_seconds, chunk_stats = future.result()
+                    # Queue time: turnaround since submission minus the
+                    # worker's own run time (clamped; retrieval overlaps).
+                    turnaround = time.perf_counter() - submitted
+                    run_timer.add(run_seconds)
+                    queue_timer.add(max(turnaround - run_seconds, 0.0))
+                    stats.absorb(chunk_stats)
+                    results.extend(chunk_results)
+        except TaskFailed:
+            # The failing chunk's own stats were lost with its raise;
+            # account the terminal failure itself at the driver.
+            stats.tasks_failed += 1
+            _emit_fault_stats(observer, stats)
+            raise
+        except Exception as exc:
+            failing = chunks[waiting_on] if waiting_on is not None else items
+            pool_broken = isinstance(exc, BrokenExecutor)
+            if not (pool_broken or self._pickling_failure(exc, fn, failing)):
+                raise
+            # Two recoverable infrastructure failures: a payload beyond
+            # the probe's reach could not cross the pipe (submission-side
+            # pickling error, not a task error), or the pool itself died
+            # (worker killed, payload broke a worker mid-unpickle).
+            # Either way, degrade to in-process execution — tasks are
+            # pure, so results are identical.
+            for future in futures:
+                future.cancel()
+            if pool_broken:
+                self.shutdown()  # drop the broken pool; next map rebuilds
+                warnings.warn(
+                    f"{self.name} backend pool broke mid-run "
+                    f"({type(exc).__name__}); re-executing this map "
+                    "in-process (results are identical, only the "
+                    "parallel speedup is lost)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            else:
+                self._warn_unpicklable()
+            return self._fallback_inline(
+                fn, items, scope, policy, plan, on_error, observer
+            )
+        _emit_fault_stats(observer, stats)
+        return results, stats
+
+    def _pickling_failure(self, exc: BaseException, fn, chunk) -> bool:
+        """Whether ``exc`` is a submission-side serialization failure."""
+        return False
+
+    def _warn_unpicklable(self) -> None:  # pragma: no cover - overridden
+        pass
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -238,21 +518,49 @@ class ProcessBackend(_PooledBackend):
 
     def _submittable(self, fn, items) -> bool:
         try:
-            # Probe the function and one representative payload; a failure
-            # anywhere means the chunks could not cross the pipe.
-            pickle.dumps((fn, items[0]))
+            # Cheap pre-check: probe the function and one representative
+            # payload.  This catches the common failure (an unpicklable
+            # task closure) before any pool work; a payload deeper in
+            # the list that does not pickle is caught at submission time
+            # by :meth:`_pickling_failure` and falls back the same way.
+            pickle.dumps((fn, items[0] if items else None))
             return True
         except Exception:
-            if not self._warned_unpicklable:
-                self._warned_unpicklable = True
-                warnings.warn(
-                    "process backend received an unpicklable task; "
-                    "executing in-process instead (results are identical, "
-                    "only the parallel speedup is lost)",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
+            self._warn_unpicklable()
             return False
+
+    def _warn_unpicklable(self) -> None:
+        if not self._warned_unpicklable:
+            self._warned_unpicklable = True
+            warnings.warn(
+                "process backend received an unpicklable task; "
+                "executing in-process instead (results are identical, "
+                "only the parallel speedup is lost)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    def _pickling_failure(self, exc: BaseException, fn, chunk) -> bool:
+        """Whether ``exc`` is a submission-side serialization failure.
+
+        The pool's feeder machinery raises the pickling error
+        (``PicklingError``, or ``TypeError``/``AttributeError`` from a
+        ``__reduce__``) dressed up exactly like a worker-raised task
+        error, so the exception alone cannot be classified.  Instead the
+        failing chunk's payload is re-probed directly: if it does not
+        pickle, the work never crossed the pipe and in-process fallback
+        is sound; if it pickles fine, the task itself raised and the
+        error must propagate.
+        """
+        if not isinstance(
+            exc, (pickle.PicklingError, TypeError, AttributeError)
+        ):
+            return False
+        try:
+            pickle.dumps((fn, list(chunk)))
+        except Exception:
+            return True
+        return False
 
 
 _REGISTRY: Dict[str, Callable[[], Backend]] = {

@@ -111,9 +111,35 @@ class TestResampling:
         indices = systematic_resample(weights, rng)
         assert (indices == 0).sum() >= 2
 
-    def test_rejects_unnormalized(self, rng):
-        with pytest.raises(FilteringError):
-            systematic_resample(np.array([0.5, 0.2]), rng)
+    def test_accepts_unnormalized_weights(self, rng):
+        """Any nonnegative finite vector with positive sum normalizes.
+
+        Accumulated importance weights arrive unnormalized (their sum is
+        whatever the likelihoods produced); resampling must treat
+        ``[0.5, 0.2]`` exactly like the normalized ``[5/7, 2/7]``.
+        """
+        raw = np.array([0.5, 0.2])
+        state = rng.bit_generator.state
+        from_raw = systematic_resample(raw, rng)
+        rng.bit_generator.state = state
+        from_normalized = systematic_resample(raw / raw.sum(), rng)
+        assert np.array_equal(from_raw, from_normalized)
+
+    def test_accepts_float_drift_sum(self, rng):
+        # Sum 0.99 — the drifted-but-valid case the old strict
+        # isclose(sum, 1) check wrongly rejected.
+        indices = systematic_resample(np.array([0.33, 0.33, 0.33]), rng)
+        assert indices.shape == (3,)
+
+    def test_rejects_unusable_weights(self, rng):
+        for bad in (
+            np.array([0.0, 0.0]),          # zero sum: nothing to draw
+            np.array([0.5, np.nan]),       # NaN entry
+            np.array([0.5, np.inf]),       # non-finite entry
+            np.array([0.8, -0.2]),         # negative entry
+        ):
+            with pytest.raises(FilteringError):
+                systematic_resample(bad, rng)
 
 
 class TestKDE:

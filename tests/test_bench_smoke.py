@@ -13,6 +13,9 @@ import json
 import pytest
 
 from benchmarks._util import RESULTS_DIR, BenchConfig
+from benchmarks.bench_fault_overhead import (
+    run_experiment as run_fault_experiment,
+)
 from benchmarks.bench_mcdb_tuple_bundles import (
     run_experiment as run_mcdb_experiment,
 )
@@ -38,6 +41,13 @@ def test_quick_parallel_backends():
     rows, identical = run_parallel_experiment(QUICK)
     # Two workloads x three backends, all byte-identical to serial.
     assert len(rows) == 6
+    assert all(identical.values())
+
+
+def test_quick_fault_overhead():
+    rows, identical = run_fault_experiment(QUICK)
+    # Two workloads, each byte-identical with recovery on and off.
+    assert len(rows) == 2
     assert all(identical.values())
 
 

@@ -46,6 +46,14 @@ def square(x):
     return x * x
 
 
+def type_name(x):
+    return type(x).__name__
+
+
+def raise_type_error(x):
+    raise TypeError(f"task-level bug on {x}")
+
+
 def wc_mapper(_, line):
     for word in line.split():
         yield word, 1
@@ -142,6 +150,35 @@ class TestBackendPrimitives:
         assert out == [2, 3, 4]
         assert captured == [1, 2, 3]
         backend.shutdown()
+
+    def test_process_backend_falls_back_on_unpicklable_later_payload(self):
+        # The cheap up-front probe only sees items[0]; an unpicklable
+        # payload deeper in the list fails pool-side (in the executor's
+        # feeder machinery) and must fall back, not crash.
+        import threading
+
+        backend = ProcessBackend(max_workers=2)
+        try:
+            items = [1, threading.Lock(), 3.5, "text"]
+            with pytest.warns(RuntimeWarning, match="unpicklable|broke"):
+                out = backend.map(type_name, items)
+            assert out == ["int", "lock", "float", "str"]
+            # The pool must remain usable for picklable work afterwards.
+            assert backend.map(square, [1, 2, 3]) == [1, 4, 9]
+        finally:
+            backend.shutdown()
+
+    def test_process_backend_worker_errors_still_propagate(self):
+        # A task that genuinely raises a pickling-family exception is a
+        # task bug, not a submission failure — it must not be silently
+        # retried in-process.
+        backend = ProcessBackend(max_workers=2)
+        try:
+            with pytest.raises(TypeError, match="task-level"):
+                backend.map(raise_type_error, range(8))
+            assert backend.map(square, [1, 2, 3]) == [1, 4, 9]
+        finally:
+            backend.shutdown()
 
     def test_task_seed_sequences_deterministic_and_independent(self):
         a = task_seed_sequences(42, "mc", 4)
