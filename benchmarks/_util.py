@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -80,6 +81,42 @@ def host_info() -> Dict[str, Any]:
     }
 
 
+def git_commit() -> str:
+    """The repository's current commit hash, or ``"unknown"``.
+
+    Recorded in every JSON artifact so perf-trajectory tooling can pin a
+    measurement to the code that produced it, even after the results
+    directory outlives the checkout.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else "unknown"
+
+
+def env_knobs() -> Dict[str, Any]:
+    """The ``repro`` environment knobs active for this process.
+
+    ``REPRO_BACKEND`` and ``REPRO_FAULTS`` silently reshape what a
+    benchmark measures (which executor ran, whether failures were being
+    injected and retried); recording them makes two results files
+    comparable at a glance.
+    """
+    return {
+        name: os.environ.get(name)
+        for name in ("REPRO_BACKEND", "REPRO_FAULTS", "REPRO_OBS")
+    }
+
+
 def save_report(experiment_id: str, text: str) -> None:
     """Print a report and persist it to ``benchmarks/results/<id>.txt``."""
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -91,15 +128,23 @@ def save_report(experiment_id: str, text: str) -> None:
 def save_json(experiment_id: str, payload: Dict[str, Any]) -> Path:
     """Persist machine-readable rows to ``benchmarks/results/<id>.json``.
 
-    The payload is wrapped with the experiment id and host metadata so a
-    results file is self-describing; returns the written path.  When the
+    The payload is wrapped with a provenance header — experiment id,
+    host metadata, the producing git commit, and the active
+    ``REPRO_BACKEND``/``REPRO_FAULTS`` environment knobs — so a results
+    file is self-describing; returns the written path.  When the
     :mod:`repro.obs` subsystem is live (``REPRO_OBS=1``), the current
     metrics snapshot rides along under ``obs_metrics``, so a recorded
     benchmark carries the telemetry that explains its numbers.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{experiment_id}.json"
-    document = {"experiment": experiment_id, "host": host_info(), **payload}
+    document = {
+        "experiment": experiment_id,
+        "host": host_info(),
+        "git_commit": git_commit(),
+        "env": env_knobs(),
+        **payload,
+    }
     observer = get_observer()
     if observer.enabled:
         document.setdefault("obs_metrics", observer.metrics.snapshot())

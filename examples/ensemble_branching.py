@@ -1,0 +1,79 @@
+"""Branching epidemic timelines over a content-addressed run store.
+
+The DataStorm/simulation-data-management idea (Sections 2.1 and 4): an
+ensemble of what-if scenarios is a DAG over a shared past.  One SIR
+Markov-chain *prefix* burns the epidemic in; three intervention
+timelines — uncontrolled, social distancing, vaccination — branch off
+that prefix and resume the chain under altered dynamics.  The prefix is
+computed once, every branch consumes its stored state, and because each
+node is content-addressed (callable + canonical params + seed +
+upstream keys), re-running the script serves the whole ensemble from
+the warm store with zero recomputation, byte-identical.
+
+Run:  python examples/ensemble_branching.py
+      python examples/ensemble_branching.py   # again: all cache hits
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.ensemble import RunStore, run_ensemble
+from repro.ensemble.scenarios import epidemic_branching_ensemble
+
+STORE = Path(__file__).parent / ".ensemble-store"
+
+
+def main() -> None:
+    ensemble = epidemic_branching_ensemble(seed=7)
+    store = RunStore(STORE)
+    result = run_ensemble(ensemble, store=store)
+    result.raise_if_failed()
+
+    print(result.render())
+    print()
+
+    prefix = result.results["prefix"]
+    print(
+        f"branch day {prefix['days']}: "
+        f"{prefix['infectious']} infectious, "
+        f"{prefix['susceptible']} still susceptible "
+        f"(attack rate so far {prefix['attack_rate']:.2f})"
+    )
+    print(f"\n{'timeline':>20} {'attack rate':>12} {'infectious':>11} "
+          f"{'recovered':>10} {'vaccinated':>11}")
+    for label in ("baseline", "distancing", "vaccinate"):
+        branch = result.results[f"timeline/{label}"]
+        print(
+            f"{label:>20} {branch['attack_rate']:12.2f} "
+            f"{branch['infectious']:11d} {branch['recovered']:10d} "
+            f"{branch['vaccinated']:11d}"
+        )
+
+    baseline = result.results["timeline/baseline"]["attack_rate"]
+    best = min(
+        ("distancing", "vaccinate"),
+        key=lambda label: result.results[f"timeline/{label}"]["attack_rate"],
+    )
+    averted = baseline - result.results[f"timeline/{best}"]["attack_rate"]
+    print(
+        f"\nbest intervention: {best} "
+        f"(averts {averted:.2f} of the baseline attack rate)"
+    )
+
+    if result.nodes_run == 0:
+        print(
+            f"\nwarm store at {STORE}: all {result.nodes_cached} node(s) "
+            "served from the content-addressed cache, byte-identical — "
+            "nothing was recomputed."
+        )
+    else:
+        print(
+            f"\ncold run: executed {result.nodes_run} node(s) into "
+            f"{STORE}. Run the script again — every node will be a "
+            "cache hit."
+        )
+
+
+if __name__ == "__main__":
+    main()

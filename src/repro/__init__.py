@@ -24,8 +24,11 @@ Section 4 — simulation metamodeling
     screening), :mod:`repro.doe` (factorial and Latin-hypercube designs).
 
 Shared substrates: :mod:`repro.stats`, :mod:`repro.errors`,
-:mod:`repro.parallel` (execution backends), and :mod:`repro.obs`
-(opt-in tracing + metrics, ``REPRO_OBS=1``).
+:mod:`repro.parallel` (execution backends), :mod:`repro.obs` (opt-in
+tracing + metrics, ``REPRO_OBS=1``), :mod:`repro.faults` (replayable
+fault injection + retry, ``REPRO_FAULTS``), and :mod:`repro.ensemble`
+(scenario orchestration over a content-addressed run store,
+``python -m repro ensemble``).
 """
 
 from repro.errors import ReproError

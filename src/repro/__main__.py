@@ -4,28 +4,49 @@
 layers — uncertain data in the Monte Carlo database, an epidemic
 intervention, a particle filter against an exact Kalman reference, and
 a result-caching optimum — and points at the full examples and
-benchmarks.
+benchmarks.  Each stage is isolated: a raising stage prints a one-line
+failure instead of a bare traceback, the remaining stages still run,
+and the process exits non-zero.
 
 ``obs-report`` force-enables the :mod:`repro.obs` observability
 subsystem, runs a figure-scale experiment across the instrumented hot
-paths, and dumps a Chrome-trace JSON plus a metrics snapshot (see
-``python -m repro obs-report --help``).
+paths, and dumps a Chrome-trace JSON plus a metrics snapshot.
+
+``ensemble`` drives the :mod:`repro.ensemble` orchestration layer:
+``run`` schedules a demo ensemble against the content-addressed run
+store (re-running serves every node from the warm store), ``ls`` lists
+stored runs, and ``gc`` evicts by age/size.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import sys
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 import repro
 
+#: Environment variable naming the default on-disk run store location.
+STORE_ENV_VAR = "REPRO_ENSEMBLE_STORE"
+DEFAULT_STORE = ".repro-ensemble-store"
 
-def tour() -> None:
-    print(f"repro {repro.__version__} — Model-Data Ecosystems (PODS 2014)")
-    print("=" * 60)
+EPILOG = """\
+commands:
+  tour        one-minute guided tour through the library's layers (default)
+  obs-report  run an instrumented experiment, dump trace + metrics snapshots
+  ensemble    scenario orchestration: run a demo ensemble against the
+              content-addressed run store, list stored runs, or gc the store
 
-    # 1. MCDB
+run `python -m repro <command> --help` for per-command options.
+"""
+
+
+# -- tour -------------------------------------------------------------------
+
+def _tour_mcdb() -> None:
     from repro.engine import Database
     from repro.mcdb import MonteCarloDatabase, NormalVG, RandomTableSpec
 
@@ -48,7 +69,8 @@ def tour() -> None:
     print(f"[mcdb]        E[avg SBP] = {dist.expectation():.2f}, "
           f"95% quantile = {dist.quantile(0.95):.2f}")
 
-    # 2. Epidemic intervention
+
+def _tour_indemics() -> None:
     from repro.epidemics import (
         DiseaseParameters,
         IndemicsEngine,
@@ -66,12 +88,14 @@ def tour() -> None:
     print(f"[indemics]    attack rate {engine.attack_rate():.2f}; "
           f"Algorithm 1 triggered: {bool(fired)}")
 
-    # 3. Particle filter vs Kalman
+
+def _tour_assimilation() -> None:
     from repro.assimilation import (
         LinearGaussianSSM,
         kalman_filter,
         particle_filter,
     )
+    from repro.stats import make_rng
 
     ssm = LinearGaussianSSM()
     _, observations = ssm.simulate(30, make_rng(3))
@@ -84,13 +108,15 @@ def tour() -> None:
     )
     print(f"[assimilate]  particle filter vs exact Kalman: RMSE {rmse:.3f}")
 
-    # 4. Result caching
+
+def _tour_caching() -> None:
     from repro.composite import (
         ArrivalProcessModel,
         QueueModel,
         estimate_statistics,
         optimal_alpha,
     )
+    from repro.stats import make_rng
 
     stats = estimate_statistics(
         ArrivalProcessModel(cost=5.0),
@@ -102,19 +128,124 @@ def tour() -> None:
     print(f"[caching]     optimal replication fraction alpha* = "
           f"{optimal_alpha(stats):.3f}")
 
+
+def _tour_ensemble() -> None:
+    import tempfile
+
+    from repro.ensemble import RunStore, run_ensemble
+    from repro.ensemble.scenarios import epidemic_branching_ensemble
+
+    with tempfile.TemporaryDirectory() as scratch:
+        store = RunStore(scratch)
+        cold = run_ensemble(
+            epidemic_branching_ensemble(quick=True), store=store
+        )
+        warm = run_ensemble(
+            epidemic_branching_ensemble(quick=True), store=store
+        )
+    print(f"[ensemble]    branched timelines: cold ran {cold.nodes_run} "
+          f"node(s), warm rerun served {warm.nodes_cached} from the store")
+
+
+TOUR_STAGES: Tuple[Tuple[str, Callable[[], None]], ...] = (
+    ("mcdb", _tour_mcdb),
+    ("indemics", _tour_indemics),
+    ("assimilate", _tour_assimilation),
+    ("caching", _tour_caching),
+    ("ensemble", _tour_ensemble),
+)
+
+
+def tour(
+    stages: Optional[Sequence[Tuple[str, Callable[[], None]]]] = None,
+) -> int:
+    """Run the guided tour; returns a process exit code.
+
+    Stages run independently: one raising stage is reported as a
+    one-line ``FAILED`` row (full traceback suppressed), the remaining
+    stages still execute, and the exit code is 1 if anything failed.
+    """
+    print(f"repro {repro.__version__} — Model-Data Ecosystems (PODS 2014)")
+    print("=" * 60)
+    failures: List[str] = []
+    for label, stage in TOUR_STAGES if stages is None else stages:
+        try:
+            stage()
+        except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+            failures.append(label)
+            print(f"[{label}]  FAILED: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
     print("=" * 60)
     print("full walkthroughs:  python examples/<name>.py")
     print("all reproductions:  pytest benchmarks/ --benchmark-only")
     print("observability:      python -m repro obs-report")
+    print("ensembles:          python -m repro ensemble run --demo epidemic")
+    if failures:
+        print(f"tour failed in stage(s): {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
-def main(argv=None) -> None:
+# -- ensemble ---------------------------------------------------------------
+
+def _open_store(path: str):
+    from repro.ensemble import RunStore
+
+    return RunStore(path)
+
+
+def ensemble_run(args) -> int:
+    from repro.ensemble import run_ensemble
+    from repro.ensemble.scenarios import DEMO_ENSEMBLES
+
+    builder = DEMO_ENSEMBLES[args.demo]
+    ensemble = builder(seed=args.seed, quick=args.quick)
+    result = run_ensemble(
+        ensemble, store=_open_store(args.store), backend=args.backend
+    )
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+def ensemble_ls(args) -> int:
+    store = _open_store(args.store)
+    entries = store.ls()
+    if not entries:
+        print(f"store {store.root!r} is empty")
+        return 0
+    print(f"store {store.root!r}: {len(entries)} run(s), "
+          f"{sum(e.size_bytes for e in entries)} bytes")
+    for entry in entries:
+        print(f"  {entry.key[:16]}  {entry.size_bytes:>8}B  "
+              f"seed={entry.seed:<6} {entry.scenario}")
+    return 0
+
+
+def ensemble_gc(args) -> int:
+    store = _open_store(args.store)
+    max_age = args.max_age_days * 86400.0 if args.max_age_days else None
+    evicted = store.gc(
+        max_age_seconds=max_age, max_total_bytes=args.max_bytes
+    )
+    print(f"evicted {len(evicted)} run(s) from {store.root!r}; "
+          f"{store.total_bytes()} bytes retained")
+    return 0
+
+
+# -- argument parsing -------------------------------------------------------
+
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Model-Data Ecosystems (PODS 2014) reproduction.",
+        epilog=EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     commands = parser.add_subparsers(dest="command")
-    commands.add_parser("tour", help="one-minute guided tour (default)")
+    commands.add_parser(
+        "tour", help="one-minute guided tour (default)"
+    )
     report = commands.add_parser(
         "obs-report",
         help="run an instrumented figure-scale experiment and dump the "
@@ -136,6 +267,57 @@ def main(argv=None) -> None:
         action="store_true",
         help="shrink problem sizes (CI smoke mode)",
     )
+
+    ensemble = commands.add_parser(
+        "ensemble",
+        help="scenario orchestration over the content-addressed run store",
+    )
+    default_store = os.environ.get(STORE_ENV_VAR) or DEFAULT_STORE
+    actions = ensemble.add_subparsers(dest="action", required=True)
+
+    run_cmd = actions.add_parser(
+        "run", help="schedule a demo ensemble (cached by content address)"
+    )
+    run_cmd.add_argument(
+        "--demo",
+        choices=("composite", "epidemic", "sweep"),
+        default="epidemic",
+        help="which demo ensemble to run (default: epidemic branching)",
+    )
+    run_cmd.add_argument(
+        "--store", default=default_store,
+        help=f"run-store directory (default: ${STORE_ENV_VAR} "
+        f"or {DEFAULT_STORE})",
+    )
+    run_cmd.add_argument(
+        "--backend", default=None,
+        help="execution backend: serial, thread, or process "
+        "(default: the REPRO_BACKEND environment variable)",
+    )
+    run_cmd.add_argument("--seed", type=int, default=0)
+    run_cmd.add_argument(
+        "--quick", action="store_true", help="shrink problem sizes"
+    )
+    run_cmd.set_defaults(handler=ensemble_run)
+
+    ls_cmd = actions.add_parser("ls", help="list stored runs, oldest first")
+    ls_cmd.add_argument("--store", default=default_store)
+    ls_cmd.set_defaults(handler=ensemble_ls)
+
+    gc_cmd = actions.add_parser(
+        "gc", help="evict stored runs by age and/or total size"
+    )
+    gc_cmd.add_argument("--store", default=default_store)
+    gc_cmd.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="evict entries older than this many days",
+    )
+    gc_cmd.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="evict oldest entries until the store fits in this many bytes",
+    )
+    gc_cmd.set_defaults(handler=ensemble_gc)
+
     args = parser.parse_args(argv)
     if args.command == "obs-report":
         from repro.obs.report import run_report
@@ -143,9 +325,11 @@ def main(argv=None) -> None:
         run_report(
             out_dir=args.out_dir, backend=args.backend, quick=args.quick
         )
-    else:
-        tour()
+        return 0
+    if args.command == "ensemble":
+        return args.handler(args)
+    return tour()
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

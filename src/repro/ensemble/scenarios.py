@@ -1,0 +1,485 @@
+"""Registered scenario families for ensemble orchestration.
+
+Two existing experiment families are exposed as content-addressable
+scenarios — composite result caching (Section 2.3 / Figure 2) and
+epidemic interventions (Section 2.1, Indemics) — plus an SIR
+database-valued Markov chain whose *prefix* is a first-class scenario:
+alternate intervention timelines branch off one burn-in, so the shared
+prefix is computed once (and, via a file-backed
+:class:`~repro.mapreduce.checkpoint.ChainCheckpoint` under the run
+store, even a crashed prefix computation resumes instead of
+restarting).  A cheap analytic ``response.surface`` scenario exercises
+:mod:`repro.doe` sweeps without simulation cost.
+
+Every callable here is module-level (picklable for the process
+backend), takes ``(params, seed, upstream)``, builds any randomness
+from ``seed`` via :func:`repro.stats.make_rng`, and runs its *internal*
+fan-outs on the serial backend — the scenario itself is the unit of
+parallelism, and nesting pools inside pool workers would oversubscribe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from functools import partial
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.ensemble.scheduler import current_node_context
+from repro.ensemble.spec import Ensemble, ScenarioSpec, register_scenario
+from repro.errors import SimulationError
+from repro.mapreduce.checkpoint import ChainCheckpoint
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import Cluster
+from repro.stats import make_rng
+
+
+def _single_upstream(params: Mapping[str, Any], upstream: Mapping[str, Any]):
+    """The upstream result a scenario consumes.
+
+    ``params["upstream_node"]`` selects by node name; with exactly one
+    dependency the choice is implicit.
+    """
+    if not upstream:
+        return None
+    name = params.get("upstream_node")
+    if name is not None:
+        if name not in upstream:
+            raise SimulationError(
+                f"upstream_node {name!r} is not a dependency "
+                f"(got {sorted(upstream)})"
+            )
+        return upstream[name]
+    if len(upstream) == 1:
+        return next(iter(upstream.values()))
+    raise SimulationError(
+        f"scenario has {len(upstream)} dependencies; set "
+        f"params['upstream_node'] to pick one of {sorted(upstream)}"
+    )
+
+
+# -- composite result caching (Figure 2) ------------------------------------
+
+@register_scenario("composite.caching")
+def composite_caching_stats(
+    params: Mapping[str, Any], seed: int, upstream: Mapping[str, Any]
+) -> Dict[str, float]:
+    """Pilot-estimate ``S = (c1, c2, V1, V2)`` and the optimal alpha*."""
+    from repro.composite import (
+        ArrivalProcessModel,
+        QueueModel,
+        estimate_statistics,
+        optimal_alpha,
+    )
+
+    stats = estimate_statistics(
+        ArrivalProcessModel(cost=float(params.get("c1", 5.0))),
+        QueueModel(cost=float(params.get("c2", 0.5))),
+        make_rng(seed),
+        pilot_m1_runs=int(params.get("pilot_m1_runs", 40)),
+        m2_runs_per_m1=int(params.get("m2_runs_per_m1", 4)),
+    )
+    return {
+        "c1": stats.c1,
+        "c2": stats.c2,
+        "v1": stats.v1,
+        "v2": stats.v2,
+        "alpha_star": optimal_alpha(stats),
+    }
+
+
+@register_scenario("composite.estimator")
+def composite_estimator(
+    params: Mapping[str, Any], seed: int, upstream: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """One RC-strategy estimation run at a fixed (or inherited) alpha.
+
+    With a ``composite.caching`` node upstream and no explicit
+    ``alpha`` parameter, the run uses the upstream's fitted
+    ``alpha_star`` — the DAG shape of Section 2.3's optimize-then-run
+    workflow.
+    """
+    from repro.composite import ArrivalProcessModel, QueueModel, run_with_caching
+
+    stats = _single_upstream(params, upstream)
+    alpha = params.get("alpha")
+    if alpha is None:
+        if stats is None:
+            raise SimulationError(
+                "composite.estimator needs an explicit alpha or a "
+                "composite.caching dependency providing alpha_star"
+            )
+        alpha = float(stats["alpha_star"])
+    result = run_with_caching(
+        ArrivalProcessModel(cost=float(params.get("c1", 5.0))),
+        QueueModel(cost=float(params.get("c2", 0.5))),
+        int(params.get("n", 120)),
+        float(alpha),
+        rng=None,
+        backend="serial",
+        seed=seed,
+    )
+    return {
+        "alpha": float(alpha),
+        "estimate": float(result.estimate),
+        "m1_runs": int(result.m1_runs),
+        "m2_runs": int(result.m2_runs),
+        "total_cost": float(result.total_cost),
+    }
+
+
+# -- Indemics epidemic interventions (Algorithm 1) --------------------------
+
+_POLICIES = ("none", "vaccinate_preschoolers", "school_closure")
+
+
+@register_scenario("epidemic.intervention")
+def epidemic_intervention(
+    params: Mapping[str, Any], seed: int, upstream: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """One policy-controlled epidemic run (attack rate + daily curve)."""
+    from repro.epidemics import (
+        DiseaseParameters,
+        IndemicsEngine,
+        SchoolClosurePolicy,
+        VaccinatePreschoolersPolicy,
+        generate_population,
+        run_with_policy,
+    )
+
+    policy_name = str(params.get("policy", "none"))
+    if policy_name not in _POLICIES:
+        raise SimulationError(
+            f"unknown policy {policy_name!r}; choose from {_POLICIES}"
+        )
+    threshold = float(params.get("threshold", 0.01))
+    policy = {
+        "none": lambda: None,
+        "vaccinate_preschoolers": lambda: VaccinatePreschoolersPolicy(
+            threshold
+        ),
+        "school_closure": lambda: SchoolClosurePolicy(threshold),
+    }[policy_name]()
+    population = generate_population(
+        int(params.get("households", 80)), make_rng(seed)
+    )
+    engine = IndemicsEngine(
+        population,
+        DiseaseParameters(
+            vaccine_efficacy=float(params.get("vaccine_efficacy", 0.9))
+        ),
+        seed=seed + 1,
+    )
+    engine.seed_infections(int(params.get("seed_infections", 4)))
+    log = run_with_policy(engine, policy, int(params.get("days", 40)))
+    return {
+        "policy": policy_name,
+        "attack_rate": float(engine.attack_rate()),
+        "peak_infectious": int(engine.peak_infectious()),
+        "person_days_infected": int(engine.person_days_infected()),
+        "interventions_triggered": sum(1 for e in log if e.triggered),
+        "curve": engine.epidemic_curve(),
+    }
+
+
+# -- SIR database-valued Markov chain with branchable timelines -------------
+
+def _stable_uniform(seed: int, day: int, pid: int, event: str) -> float:
+    """Hash-seeded uniform in [0, 1): same decision on every backend."""
+    digest = hashlib.sha256(
+        repr((seed, day, pid, event)).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def _sir_collect_mapper(key, value):
+    """Funnel the whole population to one reducer (a daily self-join)."""
+    yield "population", (key, value)
+
+
+def _sir_day_reducer(key, values, *, day, seed, beta, gamma):
+    """One day of SIR dynamics as a pure function of the prior state."""
+    people: List[Tuple[int, str]] = sorted(values)
+    infectious = sum(1 for _, state in people if state == "I")
+    pressure = beta * infectious / max(len(people), 1)
+    for pid, state in people:
+        if state == "S" and _stable_uniform(seed, day, pid, "inf") < pressure:
+            state = "I"
+        elif state == "I" and _stable_uniform(seed, day, pid, "rec") < gamma:
+            state = "R"
+        yield pid, state
+
+
+def _sir_day_job(day: int, seed: int, beta: float, gamma: float) -> MapReduceJob:
+    """Link ``day`` of the chain (job names are the chain signature)."""
+    return MapReduceJob(
+        name=f"sir-day-{day}",
+        mapper=_sir_collect_mapper,
+        reducer=partial(_sir_day_reducer, day=day, seed=seed, beta=beta,
+                        gamma=gamma),
+        num_reducers=1,
+    )
+
+
+def _chain_checkpoint() -> Optional[ChainCheckpoint]:
+    """A file-backed checkpoint under the run store, keyed by run key.
+
+    Outside a scheduled run (or without a store) the chain runs
+    un-checkpointed; inside, a crashed/retried prefix computation
+    resumes from its last completed link instead of restarting — the
+    DataStorm property that a timeline's shared prefix is computed once.
+    """
+    context = current_node_context()
+    if context is None or not context.checkpoint_dir:
+        return None
+    return ChainCheckpoint(
+        os.path.join(context.checkpoint_dir, f"{context.key}.ckpt")
+    )
+
+
+def _tally(population: List[Tuple[int, str]]) -> Dict[str, Any]:
+    states = [state for _, state in population]
+    total = max(len(states), 1)
+    infected_ever = sum(1 for s in states if s in ("I", "R"))
+    return {
+        "susceptible": states.count("S"),
+        "infectious": states.count("I"),
+        "recovered": states.count("R"),
+        "vaccinated": states.count("V"),
+        "attack_rate": infected_ever / total,
+    }
+
+
+@register_scenario("epidemic.chain_prefix")
+def epidemic_chain_prefix(
+    params: Mapping[str, Any], seed: int, upstream: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Burn an SIR Markov chain in for ``days`` links; the branch point.
+
+    The returned population (the chain's database state at the branch
+    day) is the input every intervention branch resumes from.
+    """
+    population = int(params.get("population", 60))
+    days = int(params.get("days", 8))
+    beta = float(params.get("beta", 0.5))
+    gamma = float(params.get("gamma", 0.1))
+    seeds = int(params.get("seed_infections", 3))
+    initial = [
+        (pid, "I" if pid < seeds else "S") for pid in range(population)
+    ]
+    jobs = [_sir_day_job(day, seed, beta, gamma) for day in range(days)]
+    output, counters = Cluster(num_workers=2, backend="serial").run_chain(
+        jobs, initial, checkpoint=_chain_checkpoint()
+    )
+    final = sorted((int(pid), str(state)) for pid, state in output)
+    result = {
+        "population": [[pid, state] for pid, state in final],
+        "days": days,
+        "beta": beta,
+        "gamma": gamma,
+        "records_written": counters.records_written,
+    }
+    result.update(_tally(final))
+    return result
+
+
+_INTERVENTIONS = ("none", "distancing", "vaccinate")
+
+
+@register_scenario("epidemic.chain_branch")
+def epidemic_chain_branch(
+    params: Mapping[str, Any], seed: int, upstream: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Continue the chain from an upstream prefix under an intervention.
+
+    ``"distancing"`` scales the transmission rate by ``beta_factor``;
+    ``"vaccinate"`` immunizes a deterministic fraction of the still
+    susceptible at the branch day; ``"none"`` is the uncontrolled
+    timeline.  Day numbering continues from the prefix, so the chain's
+    stochastic decisions stay aligned across branches — two timelines
+    differ only where the intervention makes them differ.
+    """
+    prefix = _single_upstream(params, upstream)
+    if prefix is None:
+        raise SimulationError(
+            "epidemic.chain_branch needs an epidemic.chain_prefix upstream"
+        )
+    intervention = str(params.get("intervention", "none"))
+    if intervention not in _INTERVENTIONS:
+        raise SimulationError(
+            f"unknown intervention {intervention!r}; "
+            f"choose from {_INTERVENTIONS}"
+        )
+    days = int(params.get("days", 8))
+    start_day = int(prefix["days"])
+    beta = float(prefix["beta"])
+    gamma = float(prefix["gamma"])
+    population = [
+        (int(pid), str(state)) for pid, state in prefix["population"]
+    ]
+    if intervention == "distancing":
+        beta *= float(params.get("beta_factor", 0.4))
+    elif intervention == "vaccinate":
+        coverage = float(params.get("coverage", 0.5))
+        population = [
+            (
+                pid,
+                "V"
+                if state == "S"
+                and _stable_uniform(seed, start_day, pid, "vax") < coverage
+                else state,
+            )
+            for pid, state in population
+        ]
+    jobs = [
+        _sir_day_job(day, seed, beta, gamma)
+        for day in range(start_day, start_day + days)
+    ]
+    output, _ = Cluster(num_workers=2, backend="serial").run_chain(
+        jobs, population, checkpoint=_chain_checkpoint()
+    )
+    final = sorted((int(pid), str(state)) for pid, state in output)
+    result = {
+        "intervention": intervention,
+        "start_day": start_day,
+        "days": days,
+        "population": [[pid, state] for pid, state in final],
+    }
+    result.update(_tally(final))
+    return result
+
+
+# -- analytic response surface (DOE sweeps) ---------------------------------
+
+@register_scenario("response.surface")
+def response_surface(
+    params: Mapping[str, Any], seed: int, upstream: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """A cheap quadratic-with-noise response for design sweeps.
+
+    Factors are every numeric parameter except the reserved ``noise``;
+    the response is a fixed quadratic plus seeded Gaussian noise, so
+    sweeps built from :meth:`Ensemble.latin_hypercube` /
+    :meth:`Ensemble.factorial` have a known surface to recover.
+    """
+    factors = sorted(
+        (name, float(value))
+        for name, value in params.items()
+        if name != "noise" and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    )
+    x = np.array([value for _, value in factors], dtype=float)
+    y = 10.0
+    if x.size:
+        weights = np.arange(1.0, x.size + 1.0)
+        y += float(weights @ x) + 0.5 * float(x @ x)
+        if x.size > 1:
+            y += 0.25 * float(x[0] * x[1])
+    noise = float(params.get("noise", 0.0))
+    if noise > 0.0:
+        y += float(make_rng(seed).normal(0.0, noise))
+    return {"y": y, "factors": dict(factors)}
+
+
+# -- demo ensembles (CLI, benchmark, example) -------------------------------
+
+def composite_caching_ensemble(
+    seed: int = 0, quick: bool = False, alphas: Tuple[float, ...] = ()
+) -> Ensemble:
+    """Figure 2 at ensemble scale: one pilot node, estimators fan out."""
+    ensemble = Ensemble("composite-caching")
+    stats = ensemble.add(
+        "stats",
+        ScenarioSpec(
+            "composite.caching",
+            {"pilot_m1_runs": 12 if quick else 40, "m2_runs_per_m1": 4},
+            seed,
+        ),
+    )
+    n = 40 if quick else 160
+    for i, alpha in enumerate(alphas or (0.1, 0.3, 0.5, 0.8)):
+        ensemble.add(
+            f"estimator/a{i}",
+            ScenarioSpec(
+                "composite.estimator", {"alpha": alpha, "n": n}, seed
+            ),
+            deps=(stats,),
+        )
+    ensemble.add(
+        "estimator/optimal",
+        ScenarioSpec("composite.estimator", {"n": n}, seed),
+        deps=(stats,),
+    )
+    return ensemble
+
+
+def epidemic_branching_ensemble(
+    seed: int = 0, quick: bool = False
+) -> Ensemble:
+    """One chain prefix, three intervention timelines branching off it."""
+    ensemble = Ensemble("epidemic-branching")
+    prefix = ensemble.add(
+        "prefix",
+        ScenarioSpec(
+            "epidemic.chain_prefix",
+            {
+                "population": 40 if quick else 120,
+                "days": 4 if quick else 10,
+                "seed_infections": 3,
+                "beta": 0.5,
+                "gamma": 0.1,
+            },
+            seed,
+        ),
+    )
+    days = 4 if quick else 12
+    for label, intervention_params in (
+        ("baseline", {"intervention": "none"}),
+        ("distancing", {"intervention": "distancing", "beta_factor": 0.4}),
+        ("vaccinate", {"intervention": "vaccinate", "coverage": 0.6}),
+    ):
+        ensemble.branch(
+            prefix,
+            f"timeline/{label}",
+            ScenarioSpec(
+                "epidemic.chain_branch",
+                {"days": days, **intervention_params},
+                seed,
+            ),
+        )
+    return ensemble
+
+
+def response_sweep_ensemble(seed: int = 0, quick: bool = False) -> Ensemble:
+    """A Latin-hypercube sweep over the analytic response surface."""
+    return Ensemble.latin_hypercube(
+        "response.surface",
+        {"x1": (-1.0, 1.0), "x2": (-1.0, 1.0), "x3": (0.0, 2.0)},
+        runs=5 if quick else 9,
+        seed=seed,
+        base_params={"noise": 0.05},
+        name="response-sweep",
+    )
+
+
+DEMO_ENSEMBLES = {
+    "composite": composite_caching_ensemble,
+    "epidemic": epidemic_branching_ensemble,
+    "sweep": response_sweep_ensemble,
+}
+
+
+__all__ = [
+    "DEMO_ENSEMBLES",
+    "composite_caching_ensemble",
+    "composite_caching_stats",
+    "composite_estimator",
+    "epidemic_branching_ensemble",
+    "epidemic_chain_branch",
+    "epidemic_chain_prefix",
+    "epidemic_intervention",
+    "response_surface",
+    "response_sweep_ensemble",
+]

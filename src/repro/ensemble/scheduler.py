@@ -1,0 +1,433 @@
+"""Deterministic topological scheduler for ensemble DAGs.
+
+Executes an :class:`~repro.ensemble.spec.Ensemble` wave by wave: every
+node whose dependencies are satisfied is *resolved* (served from the
+:class:`~repro.ensemble.store.RunStore` on a content-address hit,
+dispatched through a :mod:`repro.parallel` backend on a miss), and the
+next wave sees its upstream results.  The schedule — wave membership,
+intra-wave order, task indices — is a pure function of the ensemble, so
+every backend and worker count resolves the same nodes the same way.
+
+Failure semantics follow :mod:`repro.faults`: each node executes under
+:func:`~repro.faults.retry.run_with_retry` with the scope
+``"ensemble.node"`` and its *global topological index* (so a surgical
+plan like ``REPRO_FAULTS=at=ensemble.node:0`` kills exactly one node on
+any backend).  A node that exhausts its attempts does not crash the
+ensemble: it is reported failed with the full attempt history, and its
+descendants are reported skipped with a terminal reason.
+
+Observability lands under ``ensemble.*``: nodes run / cached / retried /
+skipped / failed counters (created only when nonzero, so snapshots stay
+byte-identical across backends), store hit/miss counters from the store
+itself, per-node timers, and an ``ensemble.run`` span.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple, Union
+
+from repro.ensemble.spec import Ensemble, get_scenario, scenario_qualname
+from repro.ensemble.store import (
+    RunStore,
+    normalize_result,
+    result_fingerprint,
+    run_key,
+)
+from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan, get_fault_plan
+from repro.faults.retry import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY,
+    RetryPolicy,
+    RetryStats,
+    TaskFailed,
+    run_with_retry,
+)
+from repro.obs import get_observer
+from repro.parallel.backend import Backend, get_backend
+
+#: Fault-plan scope under which every ensemble node executes; the task
+#: index is the node's global position in topological order.
+NODE_SCOPE = "ensemble.node"
+
+
+# -- execution context (worker side) ---------------------------------------
+
+class NodeContext(NamedTuple):
+    """Ambient facts a scenario callable may consult while running."""
+
+    #: The node's content address (stable scratch naming).
+    key: str
+    #: Store-provided directory for chain checkpoints, or ``None`` when
+    #: running without a store.
+    checkpoint_dir: Optional[str]
+
+
+_context = threading.local()
+
+
+def current_node_context() -> Optional[NodeContext]:
+    """The context of the scenario run executing on this thread.
+
+    Scenario callables use this for crash-resumable scratch state — the
+    epidemic chain prefix persists its
+    :class:`~repro.mapreduce.checkpoint.ChainCheckpoint` under
+    ``checkpoint_dir`` keyed by ``key``.  Returns ``None`` outside a
+    scheduled run (scenarios must degrade to in-memory state).
+    """
+    return getattr(_context, "value", None)
+
+
+class _NodePayload(NamedTuple):
+    """Everything a worker needs to execute one node (picklable).
+
+    The scenario callable rides along (resolved at the driver) rather
+    than being re-looked-up worker-side: a process-pool worker has not
+    necessarily imported the module that registered the scenario, but it
+    can unpickle a module-level callable directly — and an unpicklable
+    one degrades to the backend's in-process fallback.
+    """
+
+    name: str
+    scenario: str
+    fn: Any
+    params: Dict[str, Any]
+    seed: int
+    upstream: Dict[str, Any]
+    index: int
+    policy: RetryPolicy
+    plan: Optional[FaultPlan]
+    checkpoint_dir: Optional[str]
+    key: str
+
+
+def _invoke_scenario(payload: _NodePayload) -> Any:
+    """One attempt of one node (runs inside ``run_with_retry``)."""
+    _context.value = NodeContext(payload.key, payload.checkpoint_dir)
+    try:
+        return payload.fn(payload.params, payload.seed, payload.upstream)
+    finally:
+        _context.value = None
+
+
+def _execute_node(
+    payload: _NodePayload,
+) -> Tuple[str, Any, RetryStats, float]:
+    """Run one node to a terminal state; never raises.
+
+    Returns ``(status, value, retry_stats, seconds)`` where status is
+    ``"ok"`` (value = result) or ``"failed"`` (value = the terminal
+    :class:`TaskFailed`, attempt history included).  Catching the
+    failure here — instead of letting it propagate through the backend —
+    is what turns a dead node into a report rather than a crashed
+    ensemble.
+    """
+    stats = RetryStats()
+    start = time.perf_counter()
+    try:
+        result = run_with_retry(
+            _invoke_scenario,
+            payload,
+            scope=NODE_SCOPE,
+            index=payload.index,
+            policy=payload.policy,
+            plan=payload.plan,
+            stats=stats,
+        )
+    except TaskFailed as failure:
+        return "failed", failure, stats, time.perf_counter() - start
+    return "ok", result, stats, time.perf_counter() - start
+
+
+# -- reports ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NodeReport:
+    """Terminal record of one node's scheduling outcome."""
+
+    name: str
+    key: str
+    status: str  # "run" | "cached" | "failed" | "skipped"
+    seconds: float = 0.0
+    attempts: int = 0
+    retried: bool = False
+    error: Optional[str] = None
+    blocked_on: Optional[str] = None
+
+    def render(self) -> str:
+        """One human-readable line (CLI report rows)."""
+        detail = ""
+        if self.status == "failed" and self.error:
+            detail = f"  ({self.error.splitlines()[0]})"
+        elif self.status == "skipped" and self.blocked_on:
+            detail = f"  (upstream {self.blocked_on} did not complete)"
+        elif self.retried:
+            detail = f"  (recovered after {self.attempts} attempts)"
+        return (
+            f"{self.status:<8} {self.seconds:8.3f}s  "
+            f"{self.name}  [{self.key[:12]}]{detail}"
+        )
+
+
+@dataclass
+class EnsembleResult:
+    """Results plus per-node reports for one scheduled ensemble."""
+
+    name: str
+    results: Dict[str, Any] = field(default_factory=dict)
+    reports: Dict[str, NodeReport] = field(default_factory=dict)
+    store_stats: Optional[Dict[str, int]] = None
+
+    def _count(self, status: str) -> int:
+        return sum(1 for r in self.reports.values() if r.status == status)
+
+    @property
+    def nodes(self) -> int:
+        return len(self.reports)
+
+    @property
+    def nodes_run(self) -> int:
+        return self._count("run")
+
+    @property
+    def nodes_cached(self) -> int:
+        return self._count("cached")
+
+    @property
+    def nodes_failed(self) -> int:
+        return self._count("failed")
+
+    @property
+    def nodes_skipped(self) -> int:
+        return self._count("skipped")
+
+    @property
+    def nodes_retried(self) -> int:
+        return sum(1 for r in self.reports.values() if r.retried)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every node completed (run or cached)."""
+        return self.nodes_failed == 0 and self.nodes_skipped == 0
+
+    def fingerprints(self) -> Dict[str, str]:
+        """Content fingerprint per completed node (byte-identity oracle)."""
+        return {
+            name: result_fingerprint(result)
+            for name, result in sorted(self.results.items())
+        }
+
+    def raise_if_failed(self) -> "EnsembleResult":
+        """Raise a summary error if any node failed/skipped; else self."""
+        if not self.ok:
+            broken = [
+                f"{r.name}: {r.status}"
+                + (f" ({r.error.splitlines()[0]})" if r.error else "")
+                for r in self.reports.values()
+                if r.status in ("failed", "skipped")
+            ]
+            raise SimulationError(
+                f"ensemble {self.name!r} did not complete: "
+                + "; ".join(broken)
+            )
+        return self
+
+    def render(self) -> str:
+        """Multi-line human-readable report (CLI output)."""
+        lines = [
+            f"ensemble {self.name!r}: {self.nodes} node(s) — "
+            f"{self.nodes_run} run, {self.nodes_cached} cached, "
+            f"{self.nodes_failed} failed, {self.nodes_skipped} skipped"
+            + (f", {self.nodes_retried} retried" if self.nodes_retried else "")
+        ]
+        lines.extend(report.render() for report in self.reports.values())
+        if self.store_stats is not None:
+            lines.append(f"store: {self.store_stats}")
+        return "\n".join(lines)
+
+
+# -- the scheduler ----------------------------------------------------------
+
+def compute_run_keys(
+    ensemble: Ensemble,
+) -> Dict[str, str]:
+    """Content address per node, dependency keys folded in Merkle-style."""
+    keys: Dict[str, str] = {}
+    for node in ensemble.topological_order():
+        keys[node.name] = run_key(
+            scenario_qualname(node.spec.scenario),
+            node.spec.params,
+            node.spec.seed,
+            upstream={dep: keys[dep] for dep in node.deps},
+        )
+    return keys
+
+
+def run_ensemble(
+    ensemble: Ensemble,
+    store: Optional[RunStore] = None,
+    backend: Union[str, Backend, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+) -> EnsembleResult:
+    """Schedule every node of ``ensemble`` to a terminal state.
+
+    Parameters
+    ----------
+    store:
+        Content-addressed result cache; a hit skips execution entirely
+        and a fresh result is persisted.  ``None`` disables caching.
+    backend:
+        :func:`repro.parallel.get_backend` spec — ready waves fan out
+        through it; results are merged in deterministic node order.
+    retry / faults:
+        Per-node recovery policy and fault plan, defaulting like
+        :meth:`Backend.map`: an ambient plan (``REPRO_FAULTS``) engages
+        :data:`DEFAULT_RETRY_POLICY`; with neither, nodes execute once
+        and real failures terminate the *node* (descendants skipped),
+        never the ensemble.
+    """
+    plan = faults if faults is not None else get_fault_plan()
+    policy = retry if retry is not None else (
+        DEFAULT_RETRY_POLICY if plan is not None else NO_RETRY
+    )
+    backend = get_backend(backend)
+    observer = get_observer()
+    keys = compute_run_keys(ensemble)
+    indices = {
+        node.name: i for i, node in enumerate(ensemble.topological_order())
+    }
+    checkpoint_dir = store.checkpoint_dir() if store is not None else None
+
+    outcome = EnsembleResult(name=ensemble.name)
+    dead: Dict[str, str] = {}  # failed/skipped node -> terminal ancestor
+    totals = RetryStats()
+
+    with observer.span(
+        "ensemble.run", ensemble=ensemble.name, nodes=len(ensemble)
+    ):
+        for wave in ensemble.waves():
+            pending: List[_NodePayload] = []
+            for node in wave:
+                key = keys[node.name]
+                broken = next(
+                    (dep for dep in node.deps if dep in dead), None
+                )
+                if broken is not None:
+                    root = dead[broken]
+                    dead[node.name] = root
+                    outcome.reports[node.name] = NodeReport(
+                        node.name, key, "skipped", blocked_on=root
+                    )
+                    continue
+                cached = store.get(key) if store is not None else None
+                if cached is not None:
+                    outcome.results[node.name] = cached
+                    outcome.reports[node.name] = NodeReport(
+                        node.name, key, "cached"
+                    )
+                    continue
+                pending.append(
+                    _NodePayload(
+                        name=node.name,
+                        scenario=node.spec.scenario,
+                        fn=get_scenario(node.spec.scenario),
+                        params=dict(node.spec.params),
+                        seed=node.spec.seed,
+                        upstream={
+                            dep: outcome.results[dep] for dep in node.deps
+                        },
+                        index=indices[node.name],
+                        policy=policy,
+                        plan=plan,
+                        checkpoint_dir=checkpoint_dir,
+                        key=key,
+                    )
+                )
+            if not pending:
+                continue
+            resolved = backend.map(
+                _execute_node, pending, scope="ensemble.dispatch"
+            )
+            node_timer = observer.timer("ensemble.node_seconds")
+            for payload, (status, value, stats, seconds) in zip(
+                pending, resolved
+            ):
+                totals.absorb(stats)
+                node_timer.add(seconds)
+                if status == "ok":
+                    spec = ensemble.node(payload.name).spec
+                    if store is not None:
+                        normalized = store.put(
+                            payload.key,
+                            value,
+                            scenario=spec.scenario,
+                            params=spec.params,
+                            seed=spec.seed,
+                        )
+                    else:
+                        normalized = normalize_result(value)
+                    outcome.results[payload.name] = normalized
+                    outcome.reports[payload.name] = NodeReport(
+                        payload.name,
+                        payload.key,
+                        "run",
+                        seconds=seconds,
+                        attempts=stats.attempts,
+                        retried=stats.tasks_retried > 0,
+                    )
+                else:
+                    failure: TaskFailed = value
+                    dead[payload.name] = payload.name
+                    outcome.reports[payload.name] = NodeReport(
+                        payload.name,
+                        payload.key,
+                        "failed",
+                        seconds=seconds,
+                        attempts=stats.attempts,
+                        retried=stats.tasks_retried > 0,
+                        error=f"{failure}\n{failure.history()}",
+                    )
+
+    _emit_ensemble_metrics(observer, outcome, totals)
+    if store is not None:
+        outcome.store_stats = store.stats.as_dict()
+    return outcome
+
+
+def _emit_ensemble_metrics(
+    observer, outcome: EnsembleResult, totals: RetryStats
+) -> None:
+    """Publish scheduling counters (created only when nonzero).
+
+    Statuses, retry counts, and injections are pure functions of the
+    ensemble, the store contents, and the fault plan — never of the
+    backend — so live snapshots stay byte-identical across
+    serial/thread/process, matching the :mod:`repro.obs` contract.
+    """
+    for metric, amount in (
+        ("ensemble.nodes", outcome.nodes),
+        ("ensemble.nodes_run", outcome.nodes_run),
+        ("ensemble.nodes_cached", outcome.nodes_cached),
+        ("ensemble.nodes_failed", outcome.nodes_failed),
+        ("ensemble.nodes_skipped", outcome.nodes_skipped),
+        ("ensemble.nodes_retried", outcome.nodes_retried),
+        ("ensemble.injected", totals.injected),
+        ("ensemble.retries", totals.retries),
+    ):
+        if amount:
+            observer.counter(metric).add(amount)
+
+
+__all__ = [
+    "NODE_SCOPE",
+    "EnsembleResult",
+    "NodeContext",
+    "NodeReport",
+    "compute_run_keys",
+    "current_node_context",
+    "run_ensemble",
+]

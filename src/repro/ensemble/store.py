@@ -1,0 +1,427 @@
+"""Content-addressed, on-disk store of scenario run results.
+
+The Figure-2 result-caching argument — work shared between simulation
+runs must be computed once and *reused in a fixed order* — scales past
+a single composite model only if runs have stable names.  Here a run's
+name is a content address::
+
+    key = sha256(callable qualname, canonical-JSON params, seed,
+                 store schema version, {dep name: dep key})
+
+so two processes that describe the same run derive the same key, a
+parameter dict reordered or re-typed through numpy derives the same
+key, and bumping :data:`STORE_SCHEMA_VERSION` (a serialization change)
+invalidates every old entry at once instead of mixing formats.
+Dependency keys fold in Merkle-style: a node's address pins its whole
+upstream timeline, which is what lets branched ensembles share exactly
+their common prefix.
+
+On-disk layout (documented in README "Ensemble orchestration")::
+
+    <root>/
+      objects/<key[:2]>/<key>/run.json    # metadata + JSON result tree
+      objects/<key[:2]>/<key>/arrays.npz  # numpy leaves, lossless
+      checkpoints/                        # ChainCheckpoint files for
+                                          # crash-resumable chain prefixes
+
+Writes are atomic: each entry is staged in a scratch directory and
+``os.rename``d into place, so readers never observe a half-written
+entry and a crash mid-``put`` leaves only scratch debris (removed by
+:meth:`RunStore.gc`).  ``gc`` evicts by age and/or total size, oldest
+first; hit/miss/put/eviction counts are kept on the store and mirrored
+to ``ensemble.store.*`` obs counters when observability is live.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.ensemble.spec import canonical_json, canonical_params
+from repro.errors import SimulationError
+from repro.obs import get_observer
+
+#: Bump when the entry format or result encoding changes; participates
+#: in every run key, so old entries become unreachable (and collectable
+#: by ``gc``) rather than mis-decoded.
+STORE_SCHEMA_VERSION = 1
+
+_ARRAY_MARKER = "__npz__"
+
+
+def run_key(
+    qualname: str,
+    params: Mapping[str, Any],
+    seed: int,
+    upstream: Optional[Mapping[str, str]] = None,
+    schema_version: int = STORE_SCHEMA_VERSION,
+) -> str:
+    """The content address of one scenario run (sha256 hex digest)."""
+    payload = json.dumps(
+        {
+            "callable": qualname,
+            "params": canonical_params(dict(params)),
+            "seed": int(seed),
+            "schema": int(schema_version),
+            "upstream": dict(upstream or {}),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -- result encoding --------------------------------------------------------
+
+def encode_result(result: Any) -> Tuple[Any, Dict[str, np.ndarray]]:
+    """Split a result into a JSON tree plus extracted numpy arrays.
+
+    Arrays are replaced by ``{"__npz__": <entry>}`` references; numpy
+    scalars collapse to python scalars; tuples collapse to lists.  The
+    encoding is its own normal form: ``decode(encode(x))`` is identical
+    for already-normalized values, which is why the scheduler returns
+    normalized results even on a cache *miss* — a cold run and a warm
+    run hand back byte-identical structures.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+
+    def walk(value: Any) -> Any:
+        if isinstance(value, np.ndarray):
+            name = f"a{len(arrays)}"
+            arrays[name] = value
+            return {_ARRAY_MARKER: name}
+        if isinstance(value, np.generic):
+            return value.item()
+        if isinstance(value, Mapping):
+            out = {}
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise SimulationError(
+                        f"result keys must be strings, got {key!r}"
+                    )
+                if key == _ARRAY_MARKER:
+                    raise SimulationError(
+                        f"result key {key!r} collides with the array marker"
+                    )
+                out[key] = walk(item)
+            return out
+        if isinstance(value, (list, tuple)):
+            return [walk(item) for item in value]
+        if (
+            value is None
+            or isinstance(value, (bool, int, float, str))
+        ):
+            return value
+        raise SimulationError(
+            f"scenario result contains {type(value).__name__} "
+            f"({value!r}), which the run store cannot persist; return "
+            "JSON-able scalars, lists, dicts, or numpy arrays"
+        )
+
+    return walk(result), arrays
+
+
+def decode_result(tree: Any, arrays: Mapping[str, np.ndarray]) -> Any:
+    """Inverse of :func:`encode_result` (arrays restored losslessly)."""
+    if isinstance(tree, dict):
+        if set(tree) == {_ARRAY_MARKER}:
+            return np.asarray(arrays[tree[_ARRAY_MARKER]])
+        return {key: decode_result(item, arrays) for key, item in tree.items()}
+    if isinstance(tree, list):
+        return [decode_result(item, arrays) for item in tree]
+    return tree
+
+
+def normalize_result(result: Any) -> Any:
+    """The store's normal form of a result (without touching disk)."""
+    tree, arrays = encode_result(result)
+    return decode_result(tree, arrays)
+
+
+def result_fingerprint(result: Any) -> str:
+    """A sha256 over the full content of a result, arrays included.
+
+    Byte-identity oracle for tests and benchmarks: two results with the
+    same fingerprint serialize to the same ``run.json`` + ``arrays.npz``
+    content (array dtype, shape, and raw bytes all participate).
+    """
+    tree, arrays = encode_result(result)
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(tree, sort_keys=True, separators=(",", ":")).encode()
+    )
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(repr(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+# -- the store --------------------------------------------------------------
+
+@dataclass
+class StoreStats:
+    """Cumulative accounting for one :class:`RunStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One persisted run, as listed by :meth:`RunStore.ls`."""
+
+    key: str
+    scenario: str
+    seed: int
+    size_bytes: int
+    mtime: float
+    params_json: str = ""
+
+
+class RunStore:
+    """Content-addressed result cache rooted at a directory.
+
+    Thread-safe for the scheduler's driver-side access pattern (all
+    reads/writes happen on the driver); multi-process safe for
+    concurrent *writers* of the same key because entries are immutable
+    and renames are atomic — the first rename wins and later stagings
+    of the identical content are discarded.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = os.fspath(root)
+        self.stats = StoreStats()
+        os.makedirs(self._objects_dir(), exist_ok=True)
+        os.makedirs(self.checkpoint_dir(), exist_ok=True)
+        os.makedirs(self._scratch_dir(), exist_ok=True)
+
+    # -- layout --------------------------------------------------------------
+    def _objects_dir(self) -> str:
+        return os.path.join(self.root, "objects")
+
+    def _scratch_dir(self) -> str:
+        return os.path.join(self.root, "tmp")
+
+    def checkpoint_dir(self) -> str:
+        """Directory for chain-prefix checkpoints (crash resumability)."""
+        return os.path.join(self.root, "checkpoints")
+
+    def _entry_dir(self, key: str) -> str:
+        self._validate_key(key)
+        return os.path.join(self._objects_dir(), key[:2], key)
+
+    @staticmethod
+    def _validate_key(key: str) -> None:
+        if len(key) != 64 or any(c not in "0123456789abcdef" for c in key):
+            raise SimulationError(f"malformed run key {key!r}")
+
+    # -- read path -----------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` has a committed entry (no stats recorded)."""
+        return os.path.exists(os.path.join(self._entry_dir(key), "run.json"))
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored result for ``key``, or ``None`` on a miss."""
+        entry_dir = self._entry_dir(key)
+        run_path = os.path.join(entry_dir, "run.json")
+        try:
+            with open(run_path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            get_observer().counter("ensemble.store.misses").inc()
+            return None
+        if document.get("schema") != STORE_SCHEMA_VERSION:
+            # Unreachable via run_key addressing; guards hand-made keys.
+            self.stats.misses += 1
+            get_observer().counter("ensemble.store.misses").inc()
+            return None
+        arrays: Dict[str, np.ndarray] = {}
+        npz_path = os.path.join(entry_dir, "arrays.npz")
+        if os.path.exists(npz_path):
+            with np.load(npz_path) as payload:
+                arrays = {name: payload[name] for name in payload.files}
+        self.stats.hits += 1
+        get_observer().counter("ensemble.store.hits").inc()
+        return decode_result(document["result"], arrays)
+
+    # -- write path ----------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        result: Any,
+        scenario: str = "",
+        params: Optional[Mapping[str, Any]] = None,
+        seed: int = 0,
+    ) -> Any:
+        """Persist ``result`` under ``key``; returns the normalized result.
+
+        Staged under ``tmp/`` and committed with one atomic rename of
+        the entry directory; a concurrent identical ``put`` of the same
+        key loses the rename race harmlessly.
+        """
+        entry_dir = self._entry_dir(key)
+        tree, arrays = encode_result(result)
+        document = {
+            "schema": STORE_SCHEMA_VERSION,
+            "key": key,
+            "scenario": scenario,
+            "params": canonical_json(params or {}),
+            "seed": int(seed),
+            "result": tree,
+        }
+        stage = os.path.join(
+            self._scratch_dir(), f"{key}.{os.getpid()}.{time.monotonic_ns()}"
+        )
+        os.makedirs(stage)
+        try:
+            if arrays:
+                with open(os.path.join(stage, "arrays.npz"), "wb") as handle:
+                    np.savez(handle, **arrays)
+            with open(
+                os.path.join(stage, "run.json"), "w", encoding="utf-8"
+            ) as handle:
+                json.dump(document, handle, sort_keys=True, indent=1)
+            os.makedirs(os.path.dirname(entry_dir), exist_ok=True)
+            try:
+                os.rename(stage, entry_dir)
+            except OSError:
+                if not self.contains(key):
+                    raise
+                shutil.rmtree(stage, ignore_errors=True)
+        except Exception:
+            shutil.rmtree(stage, ignore_errors=True)
+            raise
+        self.stats.puts += 1
+        get_observer().counter("ensemble.store.puts").inc()
+        return decode_result(tree, arrays)
+
+    # -- maintenance ---------------------------------------------------------
+    def ls(self) -> List[StoreEntry]:
+        """All committed entries, oldest first (mtime, then key)."""
+        entries: List[StoreEntry] = []
+        objects = self._objects_dir()
+        if not os.path.isdir(objects):
+            return entries
+        for shard in sorted(os.listdir(objects)):
+            shard_dir = os.path.join(objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for key in sorted(os.listdir(shard_dir)):
+                entry_dir = os.path.join(shard_dir, key)
+                run_path = os.path.join(entry_dir, "run.json")
+                if not os.path.isfile(run_path):
+                    continue
+                size = 0
+                mtime = 0.0
+                for filename in os.listdir(entry_dir):
+                    info = os.stat(os.path.join(entry_dir, filename))
+                    size += info.st_size
+                mtime = os.stat(run_path).st_mtime
+                scenario, seed, params_json = "", 0, ""
+                try:
+                    with open(run_path, "r", encoding="utf-8") as handle:
+                        document = json.load(handle)
+                    scenario = document.get("scenario", "")
+                    seed = int(document.get("seed", 0))
+                    params_json = document.get("params", "")
+                except (OSError, ValueError):
+                    pass
+                entries.append(
+                    StoreEntry(key, scenario, seed, size, mtime, params_json)
+                )
+        entries.sort(key=lambda entry: (entry.mtime, entry.key))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Total committed entry size in bytes."""
+        return sum(entry.size_bytes for entry in self.ls())
+
+    def evict(self, key: str) -> bool:
+        """Remove one entry (and its chain checkpoint, if any)."""
+        entry_dir = self._entry_dir(key)
+        if not os.path.isdir(entry_dir):
+            return False
+        shutil.rmtree(entry_dir)
+        checkpoint = os.path.join(self.checkpoint_dir(), f"{key}.ckpt")
+        if os.path.exists(checkpoint):
+            os.unlink(checkpoint)
+        self.stats.evictions += 1
+        get_observer().counter("ensemble.store.evictions").inc()
+        return True
+
+    def gc(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_total_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Evict entries by age and/or total size; returns evicted keys.
+
+        Age eviction removes every entry older than ``max_age_seconds``;
+        size eviction then removes *oldest-first* until the store fits
+        in ``max_total_bytes``.  Scratch debris from crashed ``put``
+        calls is always removed.  With neither bound set, only debris is
+        collected.
+        """
+        now = time.time() if now is None else now
+        evicted: List[str] = []
+        entries = self.ls()
+        if max_age_seconds is not None:
+            for entry in entries:
+                if now - entry.mtime > max_age_seconds:
+                    if self.evict(entry.key):
+                        evicted.append(entry.key)
+            entries = [e for e in entries if e.key not in set(evicted)]
+        if max_total_bytes is not None:
+            total = sum(entry.size_bytes for entry in entries)
+            for entry in entries:
+                if total <= max_total_bytes:
+                    break
+                if self.evict(entry.key):
+                    evicted.append(entry.key)
+                    total -= entry.size_bytes
+        scratch = self._scratch_dir()
+        if os.path.isdir(scratch):
+            for debris in os.listdir(scratch):
+                shutil.rmtree(
+                    os.path.join(scratch, debris), ignore_errors=True
+                )
+        return evicted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RunStore {self.root!r} {self.stats.as_dict()}>"
+
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "RunStore",
+    "StoreEntry",
+    "StoreStats",
+    "decode_result",
+    "encode_result",
+    "normalize_result",
+    "result_fingerprint",
+    "run_key",
+]

@@ -13,6 +13,9 @@ import json
 import pytest
 
 from benchmarks._util import RESULTS_DIR, BenchConfig
+from benchmarks.bench_ensemble_reuse import (
+    run_experiment as run_ensemble_experiment,
+)
 from benchmarks.bench_fault_overhead import (
     run_experiment as run_fault_experiment,
 )
@@ -51,6 +54,14 @@ def test_quick_fault_overhead():
     assert all(identical.values())
 
 
+def test_quick_ensemble_reuse():
+    rows, reuse_ok = run_ensemble_experiment(QUICK)
+    # Two ensemble families; warm reruns execute zero nodes.
+    assert len(rows) == 2
+    assert all(row[-1] == 0 for row in rows)
+    assert all(reuse_ok.values())
+
+
 def test_bench_config_env_roundtrip(monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
     monkeypatch.setenv("REPRO_BENCH_BACKEND", "thread")
@@ -67,3 +78,8 @@ def test_save_json_writes_self_describing_document(tmp_path, monkeypatch):
     assert document["experiment"] == "SMOKE"
     assert document["host"]["cpu_count"] >= 1
     assert document["rows"] == [[1, 2.5]]
+    # Provenance header: producing commit + active repro env knobs.
+    assert document["git_commit"]
+    assert set(document["env"]) == {
+        "REPRO_BACKEND", "REPRO_FAULTS", "REPRO_OBS",
+    }

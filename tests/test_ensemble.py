@@ -1,0 +1,613 @@
+"""Tests for repro.ensemble: specs, the run store, and the scheduler.
+
+The acceptance surface of the ensemble ISSUE: run keys are stable under
+dict reordering and numpy re-typing and move when the schema version
+moves; a warm store serves an unchanged ensemble with *zero*
+re-executions, byte-identical to the cold run, on every backend; a
+branched ensemble recomputes only its post-branch nodes; an injected
+node failure is retried per :mod:`repro.faults` and an exhausted node
+marks its descendants skipped with a terminal report instead of
+crashing the run.
+
+Scenario callables live at module level so they pickle for the process
+backend.  CI runs this file under an ambient ``REPRO_FAULTS`` plan, so
+tests that assert exact retry counts pin their own plan (or ``None``)
+via :func:`repro.faults.injected`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.ensemble import (
+    STORE_SCHEMA_VERSION,
+    Ensemble,
+    EnsembleResult,
+    RunStore,
+    ScenarioSpec,
+    canonical_json,
+    canonical_params,
+    compute_run_keys,
+    current_node_context,
+    normalize_result,
+    register_scenario,
+    registered_scenarios,
+    result_fingerprint,
+    run_ensemble,
+    run_key,
+    scenario_qualname,
+)
+from repro.ensemble.scenarios import (
+    composite_caching_ensemble,
+    epidemic_branching_ensemble,
+    response_sweep_ensemble,
+)
+from repro.ensemble.store import decode_result, encode_result
+from repro.errors import SimulationError
+from repro.faults import FaultPlan, RetryPolicy, injected
+
+BACKENDS = ("serial", "thread", "process")
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# -- module-level scenarios (picklable for the process backend) --------------
+
+def double_scenario(params, seed, upstream):
+    dep = params.get("upstream_node")
+    base = upstream[dep]["value"] if dep else 0
+    return {"value": (params.get("x", 0) + base) * 2, "seed": seed}
+
+
+def array_scenario(params, seed, upstream):
+    rng = np.random.default_rng(seed)
+    return {
+        "curve": rng.normal(size=int(params.get("n", 5))),
+        "total": float(params.get("n", 5)),
+    }
+
+
+def flaky_scenario(params, seed, upstream):
+    return {"ok": True, "x": params.get("x", 0)}
+
+
+def always_fails(params, seed, upstream):
+    raise SimulationError("scenario is broken on purpose")
+
+
+def context_probe(params, seed, upstream):
+    context = current_node_context()
+    return {
+        "has_context": context is not None,
+        "has_checkpoint_dir": bool(context and context.checkpoint_dir),
+    }
+
+
+register_scenario("test.double", double_scenario)
+register_scenario("test.array", array_scenario)
+register_scenario("test.flaky", flaky_scenario)
+register_scenario("test.always_fails", always_fails)
+register_scenario("test.context_probe", context_probe)
+
+
+def chain(depth=3, scenario="test.double", x=1):
+    """A linear DAG n0 -> n1 -> ... (each consuming its predecessor)."""
+    ensemble = Ensemble("chain")
+    prev = None
+    for i in range(depth):
+        params = {"x": x + i}
+        if prev is not None:
+            params["upstream_node"] = prev
+        name = f"n{i}"
+        deps = (prev,) if prev else ()
+        ensemble.add(name, ScenarioSpec(scenario, params, seed=5), deps=deps)
+        prev = name
+    return ensemble
+
+
+# ---------------------------------------------------------------------------
+# Canonical params and run-key stability (regression tests)
+# ---------------------------------------------------------------------------
+
+class TestCanonicalization:
+    def test_dict_ordering_is_invisible(self):
+        a = {"beta": 0.5, "gamma": 0.1, "nested": {"x": 1, "y": 2}}
+        b = {"nested": {"y": 2, "x": 1}, "gamma": 0.1, "beta": 0.5}
+        assert canonical_json(a) == canonical_json(b)
+        assert run_key("f", a, 0) == run_key("f", b, 0)
+
+    def test_numpy_scalars_equal_python_scalars(self):
+        py = {"rate": 0.25, "count": 7, "flag": True}
+        npy = {
+            "rate": np.float64(0.25),
+            "count": np.int64(7),
+            "flag": np.bool_(True),
+        }
+        assert canonical_params(npy) == canonical_params(py)
+        assert run_key("f", npy, 0) == run_key("f", py, 0)
+
+    def test_arrays_and_tuples_collapse_to_lists(self):
+        assert canonical_params((1, 2, 3)) == [1, 2, 3]
+        assert canonical_params(np.array([1.0, 2.0])) == [1.0, 2.0]
+        assert run_key("f", {"xs": (1, 2)}, 0) == run_key(
+            "f", {"xs": np.array([1, 2])}, 0
+        )
+
+    def test_schema_version_changes_key(self):
+        params = {"x": 1}
+        assert run_key("f", params, 0) != run_key(
+            "f", params, 0, schema_version=STORE_SCHEMA_VERSION + 1
+        )
+
+    def test_seed_qualname_params_upstream_all_participate(self):
+        base = run_key("f", {"x": 1}, 0)
+        assert run_key("f", {"x": 1}, 1) != base
+        assert run_key("g", {"x": 1}, 0) != base
+        assert run_key("f", {"x": 2}, 0) != base
+        assert run_key("f", {"x": 1}, 0, upstream={"dep": "a" * 64}) != base
+        assert run_key("f", {"x": 1}, 0, upstream={"dep": "b" * 64}) != run_key(
+            "f", {"x": 1}, 0, upstream={"dep": "a" * 64}
+        )
+
+    def test_non_finite_and_non_string_keys_rejected(self):
+        with pytest.raises(SimulationError):
+            canonical_params({"x": float("nan")})
+        with pytest.raises(SimulationError):
+            canonical_params({"x": float("inf")})
+        with pytest.raises(SimulationError):
+            canonical_params({1: "x"})
+        with pytest.raises(SimulationError):
+            canonical_params({"x": object()})
+
+    def test_spec_canonicalizes_on_construction(self):
+        spec = ScenarioSpec(
+            "test.double", {"b": np.float64(2.0), "a": (1, 2)}, np.int64(3)
+        )
+        assert spec.params == {"a": [1, 2], "b": 2.0}
+        assert spec.seed == 3 and isinstance(spec.seed, int)
+        assert spec.with_params(a=[9]).params == {"a": [9], "b": 2.0}
+
+    def test_registry_rejects_rebinding(self):
+        register_scenario("test.double", double_scenario)  # idempotent
+        with pytest.raises(SimulationError):
+            register_scenario("test.double", array_scenario)
+        assert "test.double" in registered_scenarios()
+        assert scenario_qualname("test.double").endswith("double_scenario")
+
+
+# ---------------------------------------------------------------------------
+# Ensemble DAG construction
+# ---------------------------------------------------------------------------
+
+class TestEnsembleDag:
+    def test_add_rejects_forward_refs_and_duplicates(self):
+        ensemble = Ensemble()
+        ensemble.add("a", ScenarioSpec("test.double"))
+        with pytest.raises(SimulationError):
+            ensemble.add("a", ScenarioSpec("test.double"))
+        with pytest.raises(SimulationError):
+            ensemble.add("b", ScenarioSpec("test.double"), deps=("missing",))
+        with pytest.raises(SimulationError):
+            ensemble.branch("missing", "b", ScenarioSpec("test.double"))
+
+    def test_waves_are_topological_levels(self):
+        ensemble = Ensemble()
+        ensemble.add("a", ScenarioSpec("test.double"))
+        ensemble.add("b", ScenarioSpec("test.double"))
+        ensemble.add("c", ScenarioSpec("test.double"), deps=("a", "b"))
+        ensemble.branch("c", "d", ScenarioSpec("test.double"))
+        waves = [[n.name for n in wave] for wave in ensemble.waves()]
+        assert waves == [["a", "b"], ["c"], ["d"]]
+        assert [n.name for n in ensemble.topological_order()] == [
+            "a", "b", "c", "d",
+        ]
+
+    def test_cycle_detection(self):
+        ensemble = chain(2)
+        # Corrupt the DAG under the hood; public `add` can't build cycles.
+        node = ensemble._nodes["n0"]
+        ensemble._nodes["n0"] = type(node)(node.name, node.spec, ("n1",))
+        with pytest.raises(SimulationError, match="unsatisfiable"):
+            ensemble.topological_order()
+
+    def test_sweep_constructors(self):
+        lh = Ensemble.latin_hypercube(
+            "test.flaky", {"x": (0.0, 1.0), "y": (-1.0, 1.0)},
+            runs=4, seed=2, name="sweep",
+        )
+        assert len(lh) == 4
+        names = [node.name for node in lh.nodes()]
+        assert names == ["sweep/000", "sweep/001", "sweep/002", "sweep/003"]
+        for node in lh.nodes():
+            assert 0.0 <= node.spec.params["x"] <= 1.0
+            assert -1.0 <= node.spec.params["y"] <= 1.0
+            assert node.spec.seed == 2
+        fact = Ensemble.factorial("test.flaky", {"x": (0.0, 1.0)})
+        assert sorted(n.spec.params["x"] for n in fact.nodes()) == [0.0, 1.0]
+        with pytest.raises(SimulationError):
+            Ensemble.from_design("test.flaky", ["x"], np.zeros((2, 3)))
+
+
+# ---------------------------------------------------------------------------
+# The run store
+# ---------------------------------------------------------------------------
+
+class TestRunStore:
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = run_key("f", {"x": 1}, 0)
+        original = {
+            "curve": np.arange(6, dtype=np.float32).reshape(2, 3),
+            "stats": {"mean": np.float64(2.5), "n": np.int32(6)},
+            "tags": ("a", "b"),
+        }
+        put_back = store.put(key, original, scenario="f", seed=0)
+        got = store.get(key)
+        assert result_fingerprint(got) == result_fingerprint(original)
+        assert result_fingerprint(put_back) == result_fingerprint(got)
+        assert got["curve"].dtype == np.float32
+        assert got["stats"] == {"mean": 2.5, "n": 6}
+        assert got["tags"] == ["a", "b"]
+        assert store.stats.as_dict() == {
+            "hits": 1, "misses": 0, "puts": 1, "evictions": 0,
+        }
+
+    def test_miss_then_hit_accounting(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = run_key("f", {}, 0)
+        assert store.get(key) is None
+        assert not store.contains(key)
+        store.put(key, {"v": 1})
+        assert store.contains(key)
+        assert store.get(key) == {"v": 1}
+        assert store.stats.hits == 1 and store.stats.misses == 1
+
+    def test_put_is_atomic_and_race_tolerant(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = run_key("f", {"x": 1}, 0)
+        store.put(key, {"v": 1})
+        store.put(key, {"v": 1})  # losing the rename race is harmless
+        assert store.get(key) == {"v": 1}
+        # A failed put leaves only scratch debris, never a partial entry.
+        bad_key = run_key("f", {"x": 2}, 0)
+        with pytest.raises(SimulationError):
+            store.put(bad_key, {"v": object()})
+        assert not store.contains(bad_key)
+        assert store.get(bad_key) is None
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(SimulationError):
+            store.get("../../etc/passwd")
+        with pytest.raises(SimulationError):
+            store.put("short", {})
+
+    def test_ls_oldest_first_and_gc(self, tmp_path):
+        store = RunStore(tmp_path)
+        keys = [run_key("f", {"x": i}, 0) for i in range(3)]
+        for i, key in enumerate(keys):
+            store.put(key, {"x": i}, scenario="f", seed=0)
+            run_json = os.path.join(store._entry_dir(key), "run.json")
+            os.utime(run_json, (1000.0 + i, 1000.0 + i))
+        listed = store.ls()
+        assert [entry.key for entry in listed] == keys
+        assert all(entry.scenario == "f" for entry in listed)
+        # Age: evict everything strictly older than the newest entry.
+        evicted = store.gc(max_age_seconds=0.5, now=1002.0)
+        assert evicted == keys[:2]
+        # Size: evicting oldest-first until under the byte bound.
+        evicted = store.gc(max_total_bytes=0)
+        assert evicted == [keys[2]]
+        assert store.ls() == [] and store.total_bytes() == 0
+        assert store.stats.evictions == 3
+
+    def test_evict_removes_chain_checkpoint(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = run_key("f", {}, 0)
+        store.put(key, {"v": 1})
+        checkpoint = Path(store.checkpoint_dir()) / f"{key}.ckpt"
+        checkpoint.write_bytes(b"stub")
+        assert store.evict(key)
+        assert not checkpoint.exists()
+        assert not store.evict(key)
+
+    def test_gc_sweeps_scratch_debris(self, tmp_path):
+        store = RunStore(tmp_path)
+        debris = Path(store._scratch_dir()) / "crashed-put"
+        debris.mkdir()
+        (debris / "run.json").write_text("{}")
+        assert store.gc() == []
+        assert not debris.exists()
+
+    def test_normalize_matches_store_normal_form(self):
+        raw = {"a": (1, np.int64(2)), "b": np.float32(1.5)}
+        normal = normalize_result(raw)
+        assert normal == {"a": [1, 2], "b": 1.5}
+        tree, arrays = encode_result(raw)
+        assert decode_result(tree, arrays) == normal
+
+    def test_encode_rejects_marker_collision(self):
+        with pytest.raises(SimulationError):
+            encode_result({"__npz__": "x"})
+
+
+# ---------------------------------------------------------------------------
+# Scheduler: caching, branching, recovery
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestWarmStoreAcceptance:
+    def test_warm_rerun_is_zero_recompute_and_byte_identical(
+        self, tmp_path, backend
+    ):
+        store = RunStore(tmp_path)
+        with injected(None):
+            cold = run_ensemble(chain(3), store=store, backend=backend)
+            warm = run_ensemble(chain(3), store=store, backend=backend)
+        cold.raise_if_failed()
+        assert cold.nodes_run == 3 and cold.nodes_cached == 0
+        assert warm.nodes_run == 0 and warm.nodes_cached == warm.nodes
+        assert warm.fingerprints() == cold.fingerprints()
+        assert warm.store_stats["hits"] == warm.nodes
+        assert warm.results["n2"]["value"] == cold.results["n2"]["value"]
+
+    def test_array_results_identical_across_cold_and_warm(
+        self, tmp_path, backend
+    ):
+        ensemble = Ensemble("arrays")
+        ensemble.add("a", ScenarioSpec("test.array", {"n": 8}, seed=3))
+        store = RunStore(tmp_path)
+        with injected(None):
+            cold = run_ensemble(ensemble, store=store, backend=backend)
+            warm = run_ensemble(ensemble, store=store, backend=backend)
+        assert isinstance(warm.results["a"]["curve"], np.ndarray)
+        assert warm.fingerprints() == cold.fingerprints()
+
+    def test_node_failure_is_retried_and_result_unperturbed(
+        self, tmp_path, backend
+    ):
+        plan = FaultPlan(failures={("ensemble.node", 0): 1})
+        with injected(None):
+            clean = run_ensemble(chain(3), backend=backend)
+        faulty = run_ensemble(
+            chain(3), store=RunStore(tmp_path), backend=backend, faults=plan
+        )
+        faulty.raise_if_failed()
+        assert faulty.nodes_retried == 1
+        assert faulty.reports["n0"].retried
+        assert faulty.reports["n0"].attempts == 2
+        assert faulty.fingerprints() == clean.fingerprints()
+
+
+class TestSchedulerSemantics:
+    def test_results_without_store_match_store_normal_form(self):
+        with injected(None):
+            bare = run_ensemble(chain(2))
+        assert bare.store_stats is None
+        assert bare.ok and bare.nodes_run == 2
+        assert bare.results["n1"] == {"value": 8, "seed": 5}
+
+    def test_branch_recomputes_only_post_branch_nodes(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = Ensemble("base")
+        base.add("prefix", ScenarioSpec("test.double", {"x": 1}, seed=5))
+        base.branch(
+            "prefix", "a",
+            ScenarioSpec("test.double", {"x": 10, "upstream_node": "prefix"}),
+        )
+        with injected(None):
+            first = run_ensemble(base, store=store)
+
+            forked = Ensemble("forked")
+            forked.add("prefix", ScenarioSpec("test.double", {"x": 1}, seed=5))
+            forked.branch(
+                "prefix", "a",
+                ScenarioSpec(
+                    "test.double", {"x": 10, "upstream_node": "prefix"}
+                ),
+            )
+            forked.branch(
+                "prefix", "b",
+                ScenarioSpec(
+                    "test.double", {"x": 99, "upstream_node": "prefix"}
+                ),
+            )
+            second = run_ensemble(forked, store=store)
+        assert first.ok and second.ok
+        # Shared prefix and the unchanged branch come from the store;
+        # only the genuinely new timeline executes.
+        assert second.reports["prefix"].status == "cached"
+        assert second.reports["a"].status == "cached"
+        assert second.reports["b"].status == "run"
+        assert second.nodes_run == 1
+
+    def test_changed_prefix_invalidates_downstream(self, tmp_path):
+        store = RunStore(tmp_path)
+        with injected(None):
+            run_ensemble(chain(3), store=store)
+            moved = run_ensemble(chain(3, x=2), store=store)
+        # Different root params shift every Merkle-folded downstream key.
+        assert moved.nodes_run == 3 and moved.nodes_cached == 0
+
+    def test_failed_node_marks_descendants_skipped(self):
+        ensemble = Ensemble("doomed")
+        ensemble.add("ok", ScenarioSpec("test.flaky"))
+        ensemble.add("boom", ScenarioSpec("test.always_fails"))
+        ensemble.branch("boom", "child", ScenarioSpec("test.flaky"))
+        ensemble.branch("child", "grandchild", ScenarioSpec("test.flaky"))
+        with injected(None):
+            result = run_ensemble(ensemble)
+        assert not result.ok
+        assert result.reports["ok"].status == "run"
+        assert result.reports["boom"].status == "failed"
+        assert "broken on purpose" in result.reports["boom"].error
+        for name in ("child", "grandchild"):
+            assert result.reports[name].status == "skipped"
+            assert result.reports[name].blocked_on == "boom"
+        with pytest.raises(SimulationError, match="did not complete"):
+            result.raise_if_failed()
+        assert "boom" in result.render()
+
+    def test_exhausted_retries_report_attempt_history(self):
+        plan = FaultPlan(failures={("ensemble.node", 0): 9})
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0)
+        result = run_ensemble(
+            chain(2), faults=plan, retry=policy
+        )
+        assert result.reports["n0"].status == "failed"
+        assert result.reports["n0"].attempts == 3
+        assert "attempt" in result.reports["n0"].error
+        assert result.reports["n1"].status == "skipped"
+
+    def test_run_keys_pin_whole_timeline(self):
+        keys = compute_run_keys(chain(3))
+        assert set(keys) == {"n0", "n1", "n2"}
+        assert len(set(keys.values())) == 3
+        again = compute_run_keys(chain(3))
+        assert keys == again
+
+    def test_node_context_is_set_inside_scheduled_runs(self, tmp_path):
+        ensemble = Ensemble("ctx")
+        ensemble.add("probe", ScenarioSpec("test.context_probe"))
+        with injected(None):
+            stored = run_ensemble(ensemble, store=RunStore(tmp_path))
+            bare = run_ensemble(ensemble)
+        assert stored.results["probe"] == {
+            "has_context": True, "has_checkpoint_dir": True,
+        }
+        assert bare.results["probe"]["has_checkpoint_dir"] is False
+        assert current_node_context() is None
+
+    def test_ensemble_obs_counters(self, tmp_path):
+        observer = obs.enable()
+        try:
+            store = RunStore(tmp_path)
+            with injected(None):
+                run_ensemble(chain(2), store=store)
+                run_ensemble(chain(2), store=store)
+            counters = observer.metrics.snapshot()["values"]["counters"]
+        finally:
+            obs.disable()
+        assert counters["ensemble.nodes"] == 4
+        assert counters["ensemble.nodes_run"] == 2
+        assert counters["ensemble.nodes_cached"] == 2
+        assert counters["ensemble.store.hits"] == 2
+        assert counters["ensemble.store.misses"] == 2
+        assert counters["ensemble.store.puts"] == 2
+        assert "ensemble.nodes_failed" not in counters
+
+    def test_demo_ensembles_complete_quickly(self, tmp_path):
+        with injected(None):
+            for builder in (
+                composite_caching_ensemble,
+                epidemic_branching_ensemble,
+                response_sweep_ensemble,
+            ):
+                result = run_ensemble(
+                    builder(seed=0, quick=True),
+                    store=RunStore(tmp_path / builder.__name__),
+                )
+                result.raise_if_failed()
+                assert result.nodes_run == result.nodes
+
+    def test_epidemic_prefix_checkpoint_lands_in_store(self, tmp_path):
+        store = RunStore(tmp_path)
+        with injected(None):
+            result = run_ensemble(
+                epidemic_branching_ensemble(quick=True), store=store
+            )
+        result.raise_if_failed()
+        checkpoints = list(Path(store.checkpoint_dir()).glob("*.ckpt"))
+        keys = {report.key for report in result.reports.values()}
+        assert checkpoints, "chain prefix should persist its checkpoint"
+        assert all(p.stem in keys for p in checkpoints)
+
+
+class TestEnsembleResultApi:
+    def test_counts_and_render(self):
+        result = EnsembleResult(name="x")
+        assert result.ok and result.nodes == 0
+        assert "0 node(s)" in result.render()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _run_cli(*args, env_extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_FAULTS", None)
+    env.update(env_extra or {})
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=180,
+    )
+
+
+class TestEnsembleCli:
+    def test_run_ls_gc_cycle(self, tmp_path):
+        store = str(tmp_path / "store")
+        cold = _run_cli(
+            "ensemble", "run", "--demo", "sweep", "--quick", "--store", store
+        )
+        assert cold.returncode == 0, cold.stderr
+        assert "run" in cold.stdout
+
+        warm = _run_cli(
+            "ensemble", "run", "--demo", "sweep", "--quick", "--store", store
+        )
+        assert warm.returncode == 0, warm.stderr
+        assert "0 run" in warm.stdout and "cached" in warm.stdout
+
+        listed = _run_cli("ensemble", "ls", "--store", store)
+        assert listed.returncode == 0
+        assert "response.surface" in listed.stdout
+
+        swept = _run_cli("ensemble", "gc", "--store", store, "--max-bytes", "0")
+        assert swept.returncode == 0 and "evicted" in swept.stdout
+        empty = _run_cli("ensemble", "ls", "--store", store)
+        assert "empty" in empty.stdout
+
+    def test_store_env_var_default(self, tmp_path):
+        store = str(tmp_path / "env-store")
+        result = _run_cli(
+            "ensemble", "run", "--demo", "sweep", "--quick",
+            env_extra={"REPRO_ENSEMBLE_STORE": store},
+        )
+        assert result.returncode == 0, result.stderr
+        assert os.path.isdir(os.path.join(store, "objects"))
+
+    def test_help_epilog_lists_commands(self):
+        result = _run_cli("--help")
+        assert result.returncode == 0
+        for command in ("tour", "obs-report", "ensemble"):
+            assert command in result.stdout
+
+
+def test_run_json_on_disk_is_canonical(tmp_path):
+    """The persisted entry is valid JSON with the schema + canonical params."""
+    store = RunStore(tmp_path)
+    spec = ScenarioSpec("test.double", {"b": 2, "a": 1}, seed=4)
+    key = run_key(scenario_qualname("test.double"), spec.params, spec.seed)
+    store.put(key, {"v": 1}, scenario=spec.scenario, params=spec.params,
+              seed=spec.seed)
+    document = json.loads(
+        (Path(store._entry_dir(key)) / "run.json").read_text()
+    )
+    assert document["schema"] == STORE_SCHEMA_VERSION
+    assert document["key"] == key
+    assert document["params"] == '{"a":1,"b":2}'
+    assert document["seed"] == 4

@@ -1,9 +1,12 @@
-"""Smoke test for the ``python -m repro`` guided tour."""
+"""Smoke tests for the ``python -m repro`` guided tour."""
 
 from __future__ import annotations
 
 import subprocess
 import sys
+
+from repro.__main__ import tour
+from repro.errors import SimulationError
 
 
 def test_tour_runs_and_mentions_every_layer():
@@ -15,6 +18,26 @@ def test_tour_runs_and_mentions_every_layer():
     )
     assert result.returncode == 0, result.stderr
     out = result.stdout
-    for marker in ("[mcdb]", "[indemics]", "[assimilate]", "[caching]"):
+    for marker in (
+        "[mcdb]", "[indemics]", "[assimilate]", "[caching]", "[ensemble]"
+    ):
         assert marker in out
     assert "alpha*" in out
+
+
+def test_tour_exits_nonzero_when_a_stage_raises(capsys):
+    def broken():
+        raise SimulationError("stage is broken")
+
+    code = tour(stages=(("good", lambda: print("[good] fine")),
+                        ("bad", broken)))
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "[good] fine" in captured.out
+    assert "stage is broken" in captured.err
+    assert "tour failed in stage(s): bad" in captured.err
+
+
+def test_tour_exit_code_zero_when_all_stages_pass(capsys):
+    assert tour(stages=(("ok", lambda: None),)) == 0
+    assert "failed" not in capsys.readouterr().err
