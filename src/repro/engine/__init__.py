@@ -22,7 +22,18 @@ from repro.engine.expressions import (
     conjuncts,
     lit,
 )
-from repro.engine.operators import ExecutionMetrics, Executor, provider_from
+from repro.engine.columnar import ColumnBatch, ColumnVector
+from repro.engine.operators import (
+    ColumnarExecutor,
+    ExecutionMetrics,
+    Executor,
+    provider_from,
+)
+from repro.engine.optimizer import (
+    EXECUTION_ENV_VAR,
+    choose_execution,
+    resolve_execution_mode,
+)
 from repro.engine.plan import AggregateSpec, plan_summary
 from repro.engine.query import Query, agg, avg, count, max_, min_, sum_
 from repro.engine.schema import Column as SchemaColumn
@@ -35,9 +46,15 @@ __all__ = [
     "AggregateSpec",
     "BinaryOp",
     "Column",
+    "ColumnBatch",
+    "ColumnVector",
+    "ColumnarExecutor",
     "Database",
+    "EXECUTION_ENV_VAR",
     "ExecutionMetrics",
     "Executor",
+    "choose_execution",
+    "resolve_execution_mode",
     "Expression",
     "FunctionCall",
     "InList",

@@ -6,11 +6,12 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.engine import plan as lp
 from repro.engine.operators import (
+    ColumnarExecutor,
     ExecutionMetrics,
     Executor,
     TableProvider,
 )
-from repro.engine.optimizer import optimize
+from repro.engine.optimizer import choose_execution, optimize
 from repro.engine.query import Query
 from repro.engine.schema import Schema
 from repro.engine.statistics import TableStatistics
@@ -111,17 +112,26 @@ class Database(TableProvider):
         return Query(self, lp.Scan(table_name, alias))
 
     def execute_plan(
-        self, plan: lp.PlanNode, optimized: bool = True
+        self,
+        plan: lp.PlanNode,
+        optimized: bool = True,
+        execution: Optional[str] = None,
     ) -> List[Row]:
         """Execute a logical plan, optionally optimizing it first.
 
         Uncorrelated ``IN (SELECT ...)`` subqueries are materialized into
-        literal value lists before planning.
+        literal value lists before planning.  ``execution`` selects the
+        executor per plan (``"row"``, ``"columnar"``, or ``"auto"``);
+        when ``None`` it defaults to the ``REPRO_ENGINE_EXECUTION``
+        environment variable, then ``"auto"``.
         """
         plan = self._materialize_subqueries(plan)
         if optimized:
             plan = self.optimize_plan(plan)
-        executor = Executor(self, self.metrics)
+        if choose_execution(plan, execution) == "columnar":
+            executor: Executor = ColumnarExecutor(self, self.metrics)
+        else:
+            executor = Executor(self, self.metrics)
         return executor.execute(plan)
 
     def _materialize_subqueries(self, plan: lp.PlanNode) -> lp.PlanNode:
@@ -188,13 +198,16 @@ class Database(TableProvider):
 
         return table_to_csv(self.table(name), path)
 
-    def sql(self, statement: str) -> List[Row]:
+    def sql(
+        self, statement: str, execution: Optional[str] = None
+    ) -> List[Row]:
         """Parse and execute a SQL statement.
 
         ``SELECT`` returns rows; DDL/DML statements return an empty list
         (their effect is on the catalog).  See
-        :mod:`repro.engine.sqlparser` for the supported dialect.
+        :mod:`repro.engine.sqlparser` for the supported dialect, and
+        :meth:`execute_plan` for the ``execution`` mode knob.
         """
         from repro.engine.sqlparser import execute_sql
 
-        return execute_sql(self, statement)
+        return execute_sql(self, statement, execution=execution)

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import csv
 import io
+import re
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 from repro.engine.schema import Schema
 from repro.engine.table import Table
@@ -19,12 +20,42 @@ from repro.errors import SchemaError
 
 PathLike = Union[str, Path]
 
+#: Field marker for SQL ``NULL``.  ``None`` used to be written as an
+#: empty field, which made a genuine ``""`` in a ``str`` column
+#: indistinguishable from NULL on the way back in.
+NULL_MARKER = "\\N"
+
+#: Strings that would collide with the NULL marker after unescaping
+#: (``\N``, ``\\N``, ...) are written with one extra leading backslash.
+_NULL_LIKE = re.compile(r"^\\+N$")
+
+
+def _encode_field(value: Any) -> Any:
+    if value is None:
+        return NULL_MARKER
+    if isinstance(value, str) and _NULL_LIKE.match(value):
+        return "\\" + value
+    return value
+
+
+def _decode_field(value: str, declared: Optional[type]) -> Optional[str]:
+    if value == NULL_MARKER:
+        return None
+    if value == "":
+        # Empty fields stay "" for str columns; for typed columns they
+        # keep meaning NULL (and legacy files encoded NULL this way).
+        return "" if declared is str else None
+    if _NULL_LIKE.match(value):
+        return value[1:]
+    return value
+
 
 def table_to_csv(table: Table, path: PathLike) -> int:
     """Write a table to ``path`` (header + one row per tuple).
 
-    ``None`` values are written as empty fields.  Returns the number of
-    rows written.
+    ``None`` values are written as ``\\N`` so that an empty string in a
+    ``str`` column survives the round-trip.  Returns the number of rows
+    written.
     """
     path = Path(path)
     names = list(table.schema.names)
@@ -33,9 +64,7 @@ def table_to_csv(table: Table, path: PathLike) -> int:
         writer.writerow(names)
         count = 0
         for row in table:
-            writer.writerow(
-                ["" if row[n] is None else row[n] for n in names]
-            )
+            writer.writerow([_encode_field(row[n]) for n in names])
             count += 1
     return count
 
@@ -48,10 +77,11 @@ def table_from_csv(
     """Read a table from a CSV file with a header row.
 
     With an explicit ``schema``, values are coerced to the declared
-    types (empty fields become ``None``).  Without one, types are
-    inferred per column: ``int`` if every non-empty value parses as an
-    integer, else ``float`` if every value parses as a float, else
-    ``str``.
+    types.  ``\\N`` fields become ``None``; empty fields stay ``""``
+    for ``str`` columns and become ``None`` for typed columns (the
+    legacy NULL encoding).  Without a schema, types are inferred per
+    column: ``int`` if every non-null value parses as an integer, else
+    ``float``, else ``bool``, else ``str``.
     """
     path = Path(path)
     with path.open(newline="") as handle:
@@ -74,10 +104,13 @@ def table_from_csv(
         schema = _infer_schema(header, raw_rows)
 
     table = Table(name, schema)
+    dtypes = {column.name: column.dtype for column in schema.columns}
     for raw in raw_rows:
         record = {}
         for column_name, value in zip(header, raw):
-            record[column_name] = None if value == "" else value
+            record[column_name] = _decode_field(
+                value, dtypes.get(column_name)
+            )
         table.insert(record)
     return table
 
@@ -85,7 +118,11 @@ def table_from_csv(
 def _infer_schema(header: Sequence[str], rows: Sequence[Sequence[str]]) -> Schema:
     spec = {}
     for index, column_name in enumerate(header):
-        values = [row[index] for row in rows if row[index] != ""]
+        values = [
+            row[index]
+            for row in rows
+            if row[index] not in ("", NULL_MARKER)
+        ]
         spec[column_name] = _infer_type(values)
     return Schema.from_spec(spec)
 

@@ -436,6 +436,99 @@ class FunctionCall(Expression):
         return f"{self.name}({inner})"
 
 
+# ---------------------------------------------------------------------------
+# Vectorized (batch) evaluation
+# ---------------------------------------------------------------------------
+
+#: Functions with an exact vectorized replica (``math``-identical values
+#: *and* error behaviour).  ``round``/``floor``/``ceil`` return Python
+#: ints where NumPy returns floats, and the string functions have no
+#: NumPy equivalent over object columns — those stay row-only, which is
+#: what exercises the executor's per-node row fallback.
+VECTORIZED_FUNCTIONS = frozenset({"abs", "sqrt", "exp", "log"})
+
+
+def is_vectorizable(expr: Expression) -> bool:
+    """True when ``expr`` has an exact columnar evaluation.
+
+    The columnar executor only batches plan nodes whose expressions all
+    pass this check; anything else runs through the row interpreter, so
+    vectorization is never allowed to change results.
+    """
+    if isinstance(expr, (Column, Literal)):
+        return True
+    if isinstance(expr, BinaryOp):
+        return is_vectorizable(expr.left) and is_vectorizable(expr.right)
+    if isinstance(expr, UnaryOp):
+        return is_vectorizable(expr.operand)
+    if isinstance(expr, (InList, IsNull)):
+        return is_vectorizable(expr.operand)
+    if isinstance(expr, FunctionCall):
+        return expr.name in VECTORIZED_FUNCTIONS and all(
+            is_vectorizable(a) for a in expr.args
+        )
+    return False
+
+
+def evaluate_batch(expr: Expression, batch: "columnar.ColumnBatch"):
+    """Evaluate ``expr`` over a whole :class:`~repro.engine.columnar
+    .ColumnBatch`, returning a :class:`~repro.engine.columnar
+    .ColumnVector` byte-identical to per-row evaluation.
+
+    Raises :class:`~repro.errors.QueryError` for expressions that
+    :func:`is_vectorizable` rejects.
+    """
+    from repro.engine import columnar
+
+    if isinstance(expr, Column):
+        return batch.resolve(expr.name)
+    if isinstance(expr, Literal):
+        return columnar.vector_from_scalar(expr.value, batch.length)
+    if isinstance(expr, BinaryOp):
+        if expr.op == "and":
+            return columnar.logical_and(
+                evaluate_batch(expr.left, batch),
+                evaluate_batch(expr.right, batch),
+            )
+        if expr.op == "or":
+            return columnar.logical_or(
+                evaluate_batch(expr.left, batch),
+                evaluate_batch(expr.right, batch),
+            )
+        left = evaluate_batch(expr.left, batch)
+        right = evaluate_batch(expr.right, batch)
+        fallback = _BINARY_OPS[expr.op]
+        if expr.op in ("+", "-", "*", "/", "%"):
+            return columnar.arith(expr.op, fallback, left, right)
+        return columnar.compare(expr.op, fallback, left, right)
+    if isinstance(expr, UnaryOp):
+        operand = evaluate_batch(expr.operand, batch)
+        if expr.op == "-":
+            return columnar.negate(operand)
+        return columnar.logical_not(operand)
+    if isinstance(expr, InList):
+        return columnar.in_list(
+            evaluate_batch(expr.operand, batch),
+            expr.values,
+            expr._value_set,
+        )
+    if isinstance(expr, IsNull):
+        return columnar.is_null(
+            evaluate_batch(expr.operand, batch), expr.negated
+        )
+    if isinstance(expr, FunctionCall):
+        if expr.name not in VECTORIZED_FUNCTIONS:
+            raise QueryError(
+                f"function {expr.name!r} is not vectorized; "
+                "use the row execution mode"
+            )
+        args = [evaluate_batch(a, batch) for a in expr.args]
+        return columnar.call_function(expr.name, _FUNCTIONS[expr.name], args)
+    raise QueryError(
+        f"expression {expr!r} has no columnar evaluation"
+    )
+
+
 def col(name: str) -> Column:
     """Shorthand constructor for a column reference."""
     return Column(name)

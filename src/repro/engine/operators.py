@@ -16,13 +16,27 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from repro.engine import plan as lp
 from repro.obs import get_observer
+from repro.engine.columnar import (
+    EXACT_INT_BOUND,
+    _int_magnitude,
+    ColumnBatch,
+    ColumnVector,
+    all_null,
+    concat_vectors,
+    keep_mask,
+    vector_from_values,
+)
 from repro.engine.expressions import (
     BinaryOp,
     Column,
     Expression,
     conjuncts,
+    evaluate_batch,
+    is_vectorizable,
 )
 from repro.engine.table import Row, Table
 from repro.errors import QueryError
@@ -90,7 +104,10 @@ class _AggState:
         if self.spec.argument is None:
             self.count += 1
             return
-        value = self.spec.argument.evaluate(row)
+        self.update_value(self.spec.argument.evaluate(row))
+
+    def update_value(self, value: Any) -> None:
+        """Fold one already-evaluated argument value into the state."""
         if value is None:
             return
         if self.seen is not None:
@@ -495,3 +512,482 @@ def _observe_operator(
     finally:
         rows_counter.add(rows)
         timer.add(elapsed)
+
+
+# ---------------------------------------------------------------------------
+# Columnar executor
+# ---------------------------------------------------------------------------
+
+
+def _factorize_python(vec: ColumnVector) -> Tuple[np.ndarray, int]:
+    """Dense codes via a Python dict — the exact-equality fallback."""
+    mapping: Dict[Any, int] = {}
+    codes = np.empty(len(vec), dtype=np.int64)
+    for i, v in enumerate(vec.to_pylist()):
+        codes[i] = mapping.setdefault(v, len(mapping))
+    return codes, max(len(mapping), 1)
+
+
+def _factorize(vec: ColumnVector) -> Tuple[np.ndarray, int]:
+    """Dense integer codes for a vector, NULLs sharing one code.
+
+    Grouping and hash-join key equality in the row engine is Python
+    ``==`` on dict keys (where ``None`` matches ``None``); the float
+    path below is equivalent for clean numerics, and anything that is
+    not (objects, NaN, ints beyond 2**53) uses the dict fallback.
+    """
+    if vec.kind not in ("bool", "int", "float"):
+        return _factorize_python(vec)
+    if vec.kind == "int" and _int_magnitude(vec.values) > EXACT_INT_BOUND:
+        return _factorize_python(vec)
+    values = vec.values.astype(np.float64)
+    if vec.kind == "float" and bool(np.isnan(values).any()):
+        return _factorize_python(vec)
+    safe = np.where(vec.valid, values, 0.0)
+    uniq, inverse = np.unique(safe, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    codes = np.where(vec.valid, inverse, len(uniq))
+    return codes.astype(np.int64), len(uniq) + 1
+
+
+def _joint_key_codes(
+    lv: ColumnVector, rv: ColumnVector
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Codes for two key vectors in one shared code space."""
+    codes, n_codes = _factorize(concat_vectors([lv, rv]))
+    n_left = len(lv)
+    return codes[:n_left], codes[n_left:], n_codes
+
+
+def _combine_codes(
+    codes: np.ndarray, sub: np.ndarray, n_sub: int
+) -> np.ndarray:
+    """Fold one more key column into running group codes."""
+    _, combined = np.unique(
+        codes * np.int64(n_sub) + sub, return_inverse=True
+    )
+    return combined.reshape(-1).astype(np.int64)
+
+
+def _group_codes(
+    key_vecs: List[ColumnVector], n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """First-seen-ordered group codes plus each group's first row index."""
+    codes = np.zeros(n, dtype=np.int64)
+    for vec in key_vecs:
+        sub, n_sub = _factorize(vec)
+        codes = _combine_codes(codes, sub, n_sub)
+    uniq, first_idx, inverse = np.unique(
+        codes, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[order] = np.arange(len(uniq))
+    return rank[inverse], first_idx[order]
+
+
+def _concat_batches(batches: List[ColumnBatch]) -> ColumnBatch:
+    names = batches[0].names
+    columns = {
+        name: concat_vectors([b.columns[name] for b in batches])
+        for name in names
+    }
+    return ColumnBatch(columns, sum(b.length for b in batches))
+
+
+def _aggregate_python(
+    spec: lp.AggregateSpec,
+    vec: ColumnVector,
+    gcodes: np.ndarray,
+    n_groups: int,
+) -> ColumnVector:
+    """Per-group aggregation through ``_AggState`` (exact by construction)."""
+    states = [_AggState(spec) for _ in range(n_groups)]
+    for code, value in zip(gcodes.tolist(), vec.to_pylist()):
+        states[code].update_value(value)
+    return vector_from_values([s.result() for s in states])
+
+
+class ColumnarExecutor(Executor):
+    """Batch-at-a-time executor, byte-identical to :class:`Executor`.
+
+    Scan/Values/Filter/Project/Join/Aggregate nodes whose expressions are
+    vectorizable run over :class:`ColumnBatch` columns; every other node
+    (and every non-vectorizable expression) falls back to the inherited
+    row operators, which in turn pull batches from batchable children —
+    the two modes mix freely within one plan.  Per-operator observability
+    (``engine.operator.rows``/``.seconds``) is emitted for batch nodes
+    with the same labels and row counts as the row pipeline, so the
+    deterministic ``values`` snapshot is identical across modes.
+    """
+
+    # -- dispatch --------------------------------------------------------
+    def _run(self, node: lp.PlanNode) -> Iterator[Row]:
+        batch = self._run_batch(node)
+        if batch is None:
+            return super()._run(node)
+        return iter(batch.to_rows())
+
+    def _run_batch(self, node: lp.PlanNode) -> Optional[ColumnBatch]:
+        handler = self._batch_handler(node)
+        if handler is None:
+            return None
+        observer = get_observer()
+        if not observer.enabled:
+            return handler(node)
+        start = time.perf_counter()
+        batch = handler(node)
+        elapsed = time.perf_counter() - start
+        label = lp.node_label(node)
+        observer.counter("engine.operator.rows", op=label).add(batch.length)
+        observer.timer("engine.operator.seconds", op=label).add(elapsed)
+        return batch
+
+    def _batch_handler(
+        self, node: lp.PlanNode
+    ) -> Optional[Callable[[Any], ColumnBatch]]:
+        if isinstance(node, lp.Scan):
+            return self._scan_batch
+        if isinstance(node, lp.Values):
+            # Row mode preserves each row dict's own key order; only a
+            # uniform layout converts losslessly.
+            rows = node.rows
+            if rows and any(tuple(r) != tuple(rows[0]) for r in rows):
+                return None
+            return self._values_batch
+        if isinstance(node, lp.Filter):
+            if is_vectorizable(node.predicate):
+                return self._filter_batch
+            return None
+        if isinstance(node, lp.Project):
+            if all(is_vectorizable(e) for e in node.expressions):
+                return self._project_batch
+            return None
+        if isinstance(node, lp.Join):
+            if node.condition is None or is_vectorizable(node.condition):
+                return self._join_batch
+            return None
+        if isinstance(node, lp.Aggregate):
+            if any(spec.distinct for spec in node.aggregates):
+                return None
+            if not all(is_vectorizable(e) for e in node.group_by):
+                return None
+            if not all(
+                spec.argument is None or is_vectorizable(spec.argument)
+                for spec in node.aggregates
+            ):
+                return None
+            return self._aggregate_batch
+        return None
+
+    def _child_batch(self, node: lp.PlanNode) -> ColumnBatch:
+        """The child as a batch, converting row-mode output if needed."""
+        batch = self._run_batch(node)
+        if batch is not None:
+            return batch
+        rows = list(super()._run(node))
+        if rows:
+            return ColumnBatch.from_rows(rows)
+        return ColumnBatch.from_rows(rows, list(self._static_null_row(node)))
+
+    def _rows_to_batch(
+        self, rows: List[Row], node: lp.PlanNode
+    ) -> ColumnBatch:
+        if rows:
+            return ColumnBatch.from_rows(rows)
+        return ColumnBatch.from_rows(rows, list(self._static_null_row(node)))
+
+    # -- leaf / unary operators ------------------------------------------
+    def _scan_batch(self, node: lp.Scan) -> ColumnBatch:
+        table = self.provider.resolve_table(node.table)
+        self.metrics.rows_scanned += len(table)
+        return ColumnBatch.from_table(table, node.alias)
+
+    def _values_batch(self, node: lp.Values) -> ColumnBatch:
+        return ColumnBatch.from_rows([dict(r) for r in node.rows])
+
+    def _filter_batch(self, node: lp.Filter) -> ColumnBatch:
+        child = self._child_batch(node.child)
+        predicate = evaluate_batch(node.predicate, child)
+        return child.take(keep_mask(predicate))
+
+    def _project_batch(self, node: lp.Project) -> ColumnBatch:
+        child = self._child_batch(node.child)
+        columns = {
+            alias: evaluate_batch(expr, child)
+            for alias, expr in zip(node.aliases, node.expressions)
+        }
+        return ColumnBatch(columns, child.length)
+
+    # -- join ------------------------------------------------------------
+    def _join_batch(self, node: lp.Join) -> ColumnBatch:
+        left = self._child_batch(node.left)
+        right = self._child_batch(node.right)
+        if node.condition is None:
+            rows = list(
+                self._nested_loop(
+                    left.to_rows(), right.to_rows(), None, node.how
+                )
+            )
+            return self._rows_to_batch(rows, node)
+        if left.length == 0 or right.length == 0:
+            if node.how == "left" and left.length:
+                null_right = self._static_null_row(node.right)
+                rows = [
+                    self._merge(lrow, null_right) for lrow in left.to_rows()
+                ]
+                return self._rows_to_batch(rows, node)
+            return self._rows_to_batch([], node)
+        lkeys, rkeys, residual = _equi_keys(
+            node.condition,
+            dict.fromkeys(left.names),
+            dict.fromkeys(right.names),
+        )
+        if not lkeys:
+            rows = list(
+                self._nested_loop(
+                    left.to_rows(), right.to_rows(), node.condition, node.how
+                )
+            )
+            return self._rows_to_batch(rows, node)
+        return self._hash_join_batch(
+            left, right, lkeys, rkeys, residual, node.how
+        )
+
+    def _hash_join_batch(
+        self,
+        left: ColumnBatch,
+        right: ColumnBatch,
+        lkeys: List[Expression],
+        rkeys: List[Expression],
+        residual: List[Expression],
+        how: str,
+    ) -> ColumnBatch:
+        n_left, n_right = left.length, right.length
+        lcodes = np.zeros(n_left, dtype=np.int64)
+        rcodes = np.zeros(n_right, dtype=np.int64)
+        for lk, rk in zip(lkeys, rkeys):
+            lv = evaluate_batch(lk, left)
+            rv = evaluate_batch(rk, right)
+            sub_l, sub_r, n_sub = _joint_key_codes(lv, rv)
+            both = _combine_codes(
+                np.concatenate([lcodes, rcodes]),
+                np.concatenate([sub_l, sub_r]),
+                n_sub,
+            )
+            lcodes, rcodes = both[:n_left], both[n_left:]
+        # Candidate pairs: for each left row, the right rows whose key
+        # codes match (the row engine's hash-bucket probe, batched).
+        order = np.argsort(rcodes, kind="stable")
+        sorted_rcodes = rcodes[order]
+        starts = np.searchsorted(sorted_rcodes, lcodes, side="left")
+        ends = np.searchsorted(sorted_rcodes, lcodes, side="right")
+        counts = ends - starts
+        total = int(counts.sum())
+        self.metrics.join_pairs_examined += total
+        pair_left = np.repeat(np.arange(n_left), counts)
+        offsets = np.arange(total) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        pair_right = order[np.repeat(starts, counts) + offsets]
+        merged = self._merge_batches(
+            left.take(pair_left), right.take(pair_right)
+        )
+        keep = np.ones(total, dtype=bool)
+        for conj in residual:
+            keep &= keep_mask(evaluate_batch(conj, merged))
+        self.metrics.rows_joined += int(np.count_nonzero(keep))
+        matched = merged.take(keep)
+        if how != "left":
+            return matched
+        matched_left = np.zeros(n_left, dtype=bool)
+        matched_left[pair_left[keep]] = True
+        unmatched = np.flatnonzero(~matched_left)
+        if unmatched.size == 0:
+            return matched
+        padded = self._null_extend_batch(left.take(unmatched), right)
+        # Row mode emits each unmatched left row in left order,
+        # interleaved with the matches: restore that order stably.
+        positions = np.concatenate([pair_left[keep], unmatched])
+        return _concat_batches([matched, padded]).take(
+            np.argsort(positions, kind="stable")
+        )
+
+    def _merge_batches(
+        self, left: ColumnBatch, right: ColumnBatch
+    ) -> ColumnBatch:
+        columns = dict(left.columns)
+        for name, rvec in right.columns.items():
+            if name in columns:
+                self._check_clobber(name, columns[name], rvec)
+            columns[name] = rvec
+        return ColumnBatch(columns, left.length)
+
+    def _check_clobber(
+        self, name: str, lvec: ColumnVector, rvec: ColumnVector
+    ) -> None:
+        # Row mode raises iff Python ``left != right`` is truthy for any
+        # pair (``None != None`` is False, ``None != x`` is True).
+        if lvec.kind == "object" or rvec.kind == "object":
+            bad = any(
+                ((x is None) != (y is None))
+                or (x is not None and y is not None and x != y)
+                for x, y in zip(lvec.to_pylist(), rvec.to_pylist())
+            )
+        else:
+            both = lvec.valid & rvec.valid
+            bad = bool(
+                np.any(lvec.valid != rvec.valid)
+                or np.any(both & (lvec.values != rvec.values))
+            )
+        if bad:
+            raise QueryError(
+                f"join output would clobber column {name!r}; "
+                "alias one side of the join"
+            )
+
+    def _null_extend_batch(
+        self, left: ColumnBatch, right: ColumnBatch
+    ) -> ColumnBatch:
+        # Row mode merges each unmatched left row with an all-None right
+        # row; an overlapping column with a non-null left value clobbers.
+        columns = dict(left.columns)
+        for name in right.columns:
+            if name in columns and bool(columns[name].valid.any()):
+                raise QueryError(
+                    f"join output would clobber column {name!r}; "
+                    "alias one side of the join"
+                )
+            columns[name] = all_null(left.length)
+        return ColumnBatch(columns, left.length)
+
+    # -- aggregate -------------------------------------------------------
+    def _aggregate_batch(self, node: lp.Aggregate) -> ColumnBatch:
+        child = self._child_batch(node.child)
+        n = child.length
+        if node.group_by:
+            key_vecs = [evaluate_batch(e, child) for e in node.group_by]
+            gcodes, first_rows = _group_codes(key_vecs, n)
+            n_groups = len(first_rows)
+            if n_groups == 0:
+                names = list(node.group_aliases) + [
+                    spec.alias for spec in node.aggregates
+                ]
+                return ColumnBatch.from_rows([], names)
+        else:
+            key_vecs = []
+            first_rows = np.zeros(0, dtype=np.int64)
+            gcodes = np.zeros(n, dtype=np.int64)
+            n_groups = 1
+        columns: Dict[str, ColumnVector] = {}
+        for alias, vec in zip(node.group_aliases, key_vecs):
+            columns[alias] = vec.take(first_rows)
+        for spec in node.aggregates:
+            columns[spec.alias] = self._aggregate_column(
+                spec, child, gcodes, n_groups
+            )
+        return ColumnBatch(columns, n_groups)
+
+    def _aggregate_column(
+        self,
+        spec: lp.AggregateSpec,
+        child: ColumnBatch,
+        gcodes: np.ndarray,
+        n_groups: int,
+    ) -> ColumnVector:
+        if spec.argument is None:
+            counts = np.bincount(gcodes, minlength=n_groups)
+            return vector_from_values([int(c) for c in counts])
+        vec = evaluate_batch(spec.argument, child)
+        if not self._numeric_aggregable(spec, vec):
+            return _aggregate_python(spec, vec, gcodes, n_groups)
+        valid = vec.valid
+        grouped = gcodes[valid]
+        values = vec.values[valid]
+        counts = np.bincount(grouped, minlength=n_groups)
+        func = spec.func
+        if func == "count":
+            return vector_from_values([int(c) for c in counts])
+        if func in ("min", "max"):
+            return self._extreme_column(
+                func, vec.kind, values, grouped, counts, n_groups
+            )
+        floats = values.astype(np.float64)
+        totals = np.zeros(n_groups, dtype=np.float64)
+        np.add.at(totals, grouped, floats)
+        if func == "sum":
+            return vector_from_values([
+                float(totals[i]) if counts[i] else None
+                for i in range(n_groups)
+            ])
+        if func == "avg":
+            return vector_from_values([
+                float(totals[i]) / int(counts[i]) if counts[i] else None
+                for i in range(n_groups)
+            ])
+        # var / std (sample, ddof=1), same scalar formula as _AggState.
+        squares = np.zeros(n_groups, dtype=np.float64)
+        np.add.at(squares, grouped, floats * floats)
+        out: List[Any] = []
+        for i in range(n_groups):
+            count = int(counts[i])
+            if count == 0:
+                out.append(None)
+            elif count < 2:
+                out.append(0.0)
+            else:
+                mean = float(totals[i]) / count
+                var = (float(squares[i]) - count * mean * mean) / (count - 1)
+                var = max(var, 0.0)
+                out.append(var if func == "var" else math.sqrt(var))
+        return vector_from_values(out)
+
+    def _numeric_aggregable(
+        self, spec: lp.AggregateSpec, vec: ColumnVector
+    ) -> bool:
+        """Whether the NumPy accumulators reproduce ``_AggState`` exactly.
+
+        Booleans (not summed by the row engine), objects, NaNs, and —
+        for var/std — ints whose squares exceed 2**53 (Python squares
+        exactly, float64 rounds) all go through the Python states.
+        """
+        if vec.kind not in ("int", "float"):
+            return False
+        if vec.kind == "float":
+            if bool(np.isnan(vec.values[vec.valid]).any()):
+                return False
+            if spec.func in ("min", "max"):
+                zeros = vec.values[vec.valid] == 0.0
+                if bool(np.any(zeros & np.signbit(vec.values[vec.valid]))):
+                    # -0.0 vs 0.0 ties: row mode keeps the first seen.
+                    return False
+        if spec.func in ("var", "std") and vec.kind == "int":
+            if _int_magnitude(vec.values) > 2 ** 26:
+                return False
+        return True
+
+    def _extreme_column(
+        self,
+        func: str,
+        kind: str,
+        values: np.ndarray,
+        grouped: np.ndarray,
+        counts: np.ndarray,
+        n_groups: int,
+    ) -> ColumnVector:
+        ufunc = np.minimum if func == "min" else np.maximum
+        if kind == "int":
+            info = np.iinfo(np.int64)
+            fill = info.max if func == "min" else info.min
+            acc = np.full(n_groups, fill, dtype=np.int64)
+            ufunc.at(acc, grouped, values)
+            return vector_from_values([
+                int(acc[i]) if counts[i] else None for i in range(n_groups)
+            ])
+        fill = np.inf if func == "min" else -np.inf
+        acc = np.full(n_groups, fill, dtype=np.float64)
+        ufunc.at(acc, grouped, values)
+        return vector_from_values([
+            float(acc[i]) if counts[i] else None for i in range(n_groups)
+        ])

@@ -180,10 +180,22 @@ class Query:
         return self._wrap(lp.Union(self._plan, other._plan))
 
     def run(
-        self, metrics: Optional[ExecutionMetrics] = None
+        self,
+        metrics: Optional[ExecutionMetrics] = None,
+        execution: Optional[str] = None,
     ) -> List[Row]:
-        """Execute the plan and return materialized rows."""
-        executor = Executor(self._provider, metrics)
+        """Execute the plan and return materialized rows.
+
+        ``execution`` selects row vs columnar evaluation (``"auto"``
+        consults the ``REPRO_ENGINE_EXECUTION`` environment variable).
+        """
+        from repro.engine.operators import ColumnarExecutor
+        from repro.engine.optimizer import choose_execution
+
+        if choose_execution(self._plan, execution) == "columnar":
+            executor: Executor = ColumnarExecutor(self._provider, metrics)
+        else:
+            executor = Executor(self._provider, metrics)
         return executor.execute(self._plan)
 
     def scalar(self) -> Any:

@@ -712,11 +712,12 @@ def parse_select(sql: str) -> lp.PlanNode:
     return plan
 
 
-def execute_sql(db, sql: str):
+def execute_sql(db, sql: str, execution=None):
     """Parse and execute one SQL statement against ``db``.
 
     ``db`` is a :class:`repro.engine.catalog.Database`.  Returns the result
-    rows for SELECT, an empty list otherwise.
+    rows for SELECT, an empty list otherwise.  ``execution`` picks the
+    executor mode per plan (see ``Database.execute_plan``).
     """
     parser = _Parser(sql)
     kind, payload = parser.parse_statement()
@@ -727,7 +728,7 @@ def execute_sql(db, sql: str):
         )
 
     if kind == "select":
-        return db.execute_plan(payload)
+        return db.execute_plan(payload, execution=execution)
     if kind == "select_with_ctes":
         ctes, main = payload
         # Materialize CTEs into an overlay database so the base catalog
@@ -739,7 +740,7 @@ def execute_sql(db, sql: str):
         for table_name in db.table_names():
             overlay.register(db.table(table_name))
         for name, columns, plan in ctes:
-            rows = overlay.execute_plan(plan)
+            rows = overlay.execute_plan(plan, execution=execution)
             if not rows:
                 if columns is None:
                     raise QueryError(
@@ -762,14 +763,14 @@ def execute_sql(db, sql: str):
                     dict(zip(columns, row.values())) for row in rows
                 ]
             overlay.register(Table.from_rows(name, rows), replace=True)
-        return overlay.execute_plan(main)
+        return overlay.execute_plan(main, execution=execution)
     if kind == "create":
         name, spec = payload
         db.create_table(name, Schema.from_spec(spec))
         return []
     if kind == "create_as":
         name, plan = payload
-        rows = db.execute_plan(plan)
+        rows = db.execute_plan(plan, execution=execution)
         if not rows:
             raise QueryError(
                 "CREATE TABLE AS with an empty result cannot infer a schema"
@@ -794,7 +795,7 @@ def execute_sql(db, sql: str):
         name, columns, plan = payload
         table = db.table(name)
         names = columns or list(table.schema.names)
-        for row in db.execute_plan(plan):
+        for row in db.execute_plan(plan, execution=execution):
             values = list(row.values())
             if len(values) != len(names):
                 raise QueryError(

@@ -165,11 +165,20 @@ def predicate_selectivity(
             return equality_selectivity(stats, col_expr.name)
         if effective_op == "!=":
             return 1.0 - equality_selectivity(stats, col_expr.name)
-        if isinstance(lit_expr.value, (int, float)) and not isinstance(
-            lit_expr.value, bool
-        ):
+        # Coerce defensively: literals can be strings (str-typed
+        # predicates), bools, or odd numeric-likes (e.g. NumPy
+        # scalars); anything that does not cleanly become a finite
+        # float falls back to the default selectivity instead of
+        # crashing the optimizer.
+        constant: Optional[float] = None
+        if not isinstance(lit_expr.value, bool):
+            try:
+                constant = float(lit_expr.value)
+            except (TypeError, ValueError):
+                constant = None
+        if constant is not None and math.isfinite(constant):
             return range_selectivity(
-                stats, col_expr.name, effective_op, float(lit_expr.value)
+                stats, col_expr.name, effective_op, constant
             )
         return _DEFAULT_SELECTIVITY.get(effective_op, 0.5)
     return 0.5

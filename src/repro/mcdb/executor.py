@@ -29,7 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.engine.catalog import Database
-from repro.errors import SimulationError
+from repro.errors import QueryError, SimulationError
 from repro.faults.retry import RetryPolicy
 from repro.mcdb.random_table import RandomTableSpec
 from repro.mcdb.tuple_bundle import BundledTable
@@ -245,6 +245,7 @@ class MonteCarloDatabase:
         n_mc: int,
         backend: Union[str, Backend, None] = None,
         retry: Optional[RetryPolicy] = None,
+        columnar: Optional[bool] = None,
     ) -> QueryDistribution:
         """Execute a bundle-aware ``query`` exactly once.
 
@@ -252,7 +253,19 @@ class MonteCarloDatabase:
         returns an array of length ``n_mc`` (one query-result sample per
         iteration).  ``backend`` parallelizes bundle instantiation across
         random tables, with per-table retry governed by ``retry``.
+
+        ``columnar=True`` hands the query
+        :class:`~repro.mcdb.columnar_bundle.ColumnarBundleTable` objects
+        (one matrix per column over all iterations) instead of row
+        bundles — samples are byte-identical, elementwise query callables
+        work unchanged, and bundles whose tuples are not column-uniform
+        quietly stay row-bundled.  ``None`` consults the engine's
+        ``REPRO_ENGINE_EXECUTION`` knob (columnar when forced).
         """
+        if columnar is None:
+            from repro.engine.optimizer import resolve_execution_mode
+
+            columnar = resolve_execution_mode() == "columnar"
         observer = get_observer()
         observer.counter("mcdb.bundled_runs").inc()
         observer.counter("mcdb.bundled_samples").add(n_mc)
@@ -260,6 +273,14 @@ class MonteCarloDatabase:
             bundles = self.instantiate_bundles(
                 n_mc, backend=backend, retry=retry
             )
+            if columnar:
+                converted: Dict[str, Any] = {}
+                for name, bundle in bundles.items():
+                    try:
+                        converted[name] = bundle.to_columnar()
+                    except QueryError:
+                        converted[name] = bundle
+                bundles = converted
             with observer.span("mcdb.bundled_query"):
                 samples = np.asarray(query(bundles, self.db), dtype=float)
         if samples.shape != (n_mc,):

@@ -54,6 +54,17 @@ class BundledTable:
     def __len__(self) -> int:
         return len(self.rows)
 
+    def to_columnar(self):
+        """Transpose into a :class:`~repro.mcdb.columnar_bundle
+        .ColumnarBundleTable` (one matrix per column).
+
+        Raises :class:`~repro.errors.QueryError` when tuples carry
+        different column sets (such bundles stay row-bundled).
+        """
+        from repro.mcdb.columnar_bundle import ColumnarBundleTable
+
+        return ColumnarBundleTable.from_bundled(self)
+
     # -- operators ----------------------------------------------------------
     def filter(
         self, predicate: Callable[[Row], np.ndarray]

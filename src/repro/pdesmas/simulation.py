@@ -8,6 +8,7 @@ data the AN-RQ benchmark reports.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -51,7 +52,15 @@ class PdesMasScenario:
         seed: int = 0,
     ) -> None:
         self.extent = extent
-        self.rng = np.random.default_rng(seed)
+        # Repo-wide seeding convention (see mcdb/simsql/parallel): a
+        # SeedSequence keyed by a stable subsystem tag, so pdesmas
+        # streams cannot collide with other subsystems sharing ``seed``.
+        self.rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=seed,
+                spawn_key=(zlib.crc32(b"pdesmas.scenario"),),
+            )
+        )
         self.tree = CLPTree(num_leaves=num_alps)
         self.alps = make_alps(
             num_alps,

@@ -13,6 +13,9 @@ import json
 import pytest
 
 from benchmarks._util import RESULTS_DIR, BenchConfig
+from benchmarks.bench_engine_columnar import (
+    run_experiment as run_columnar_experiment,
+)
 from benchmarks.bench_ensemble_reuse import (
     run_experiment as run_ensemble_experiment,
 )
@@ -37,6 +40,14 @@ def test_quick_mcdb_tuple_bundles():
     # Estimates from both paths agree on the same distribution.
     for _, naive_mean, bundled_mean, *_ in rows:
         assert abs(naive_mean - bundled_mean) < 2.0
+    assert all(s > 0 for s in speedups.values())
+
+
+def test_quick_engine_columnar():
+    rows, speedups, identical = run_columnar_experiment(QUICK)
+    # Three workloads, all byte-identical across executors.
+    assert len(rows) == 3
+    assert all(identical.values())
     assert all(s > 0 for s in speedups.values())
 
 

@@ -34,6 +34,36 @@ class TestCsvRoundtrip:
         back = table_from_csv("t", path, schema=Schema.of(x=int, y=float))
         assert back.rows[0] == {"x": 1, "y": None}
 
+    def test_empty_string_distinct_from_null(self, tmp_path):
+        # Regression: NULL used to be written as an empty field, so a
+        # genuine "" in a str column came back as None.
+        table = Table("t", Schema.of(pid=int, name=str))
+        table.insert({"pid": 1, "name": ""})
+        table.insert({"pid": 2, "name": None})
+        table.insert({"pid": 3, "name": "x"})
+        path = tmp_path / "t.csv"
+        table_to_csv(table, path)
+        back = table_from_csv("t", path, schema=Schema.of(pid=int, name=str))
+        assert back.column_values("name") == ["", None, "x"]
+
+    def test_null_marker_lookalikes_escape(self, tmp_path):
+        # Literal "\N" (and deeper escapes) must survive as strings and
+        # not collide with the NULL marker.
+        values = ["\\N", "\\\\N", None, "N", "\\n"]
+        table = Table("t", Schema.of(s=str))
+        for v in values:
+            table.insert({"s": v})
+        path = tmp_path / "t.csv"
+        table_to_csv(table, path)
+        back = table_from_csv("t", path, schema=Schema.of(s=str))
+        assert back.column_values("s") == values
+
+    def test_legacy_empty_field_still_null_for_typed_columns(self, tmp_path):
+        path = tmp_path / "legacy.csv"
+        path.write_text("x,s\n,\n")
+        back = table_from_csv("t", path, schema=Schema.of(x=int, s=str))
+        assert back.rows[0] == {"x": None, "s": ""}
+
     def test_type_inference(self, tmp_path):
         path = tmp_path / "data.csv"
         path.write_text("a,b,c\n1,1.5,x\n2,2,y\n")

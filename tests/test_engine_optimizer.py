@@ -140,3 +140,39 @@ class TestStatistics:
         stats = db.statistics("big")
         assert predicate_selectivity(lit(True), stats) == 1.0
         assert predicate_selectivity(lit(False), stats) == 0.0
+
+    def test_string_range_literal_falls_back(self, db):
+        # Regression: a string literal under a range operator must fall
+        # back to the default selectivity instead of crashing (or being
+        # coerced) during float conversion.
+        stats = db.statistics("small")
+        sel = predicate_selectivity(col("tag") < lit("t5"), stats)
+        assert sel == pytest.approx(1.0 / 3.0)
+        assert predicate_selectivity(
+            col("tag") >= lit("t2"), stats
+        ) == pytest.approx(1.0 / 3.0)
+
+    def test_string_range_predicate_plan_optimizes(self, db):
+        # End-to-end: the optimizer consumes the selectivity estimate on
+        # a string-typed range predicate without error, and the plan
+        # still returns correct rows in both execution modes.
+        sql = (
+            "SELECT s.tag, count(*) AS n FROM big b JOIN small s "
+            "ON b.k = s.k WHERE s.tag < 't5' GROUP BY s.tag"
+        )
+        rows = db.sql(sql)
+        assert rows == db.sql(sql, execution="row")
+        assert {r["tag"] for r in rows} == {f"t{i}" for i in range(5)}
+
+    def test_numeric_like_string_literal_coerces(self, db):
+        # A literal that cleanly parses as a number still interpolates.
+        stats = db.statistics("big")
+        assert predicate_selectivity(
+            col("v") < lit("149.5"), stats
+        ) == pytest.approx(0.5)
+
+    def test_boolean_literal_not_treated_as_number(self, db):
+        stats = db.statistics("big")
+        assert predicate_selectivity(
+            col("v") < lit(True), stats
+        ) == pytest.approx(1.0 / 3.0)
