@@ -106,14 +106,21 @@ def git_commit() -> str:
 def env_knobs() -> Dict[str, Any]:
     """The ``repro`` environment knobs active for this process.
 
-    ``REPRO_BACKEND`` and ``REPRO_FAULTS`` silently reshape what a
-    benchmark measures (which executor ran, whether failures were being
-    injected and retried); recording them makes two results files
-    comparable at a glance.
+    ``REPRO_BACKEND``, ``REPRO_FAULTS``, and the engine execution knobs
+    silently reshape what a benchmark measures (which executor ran,
+    whether work was morsel-parallel, whether failures were being
+    injected and retried); recording them — alongside ``usable_cpus``
+    in the host header — makes two results files comparable at a glance.
     """
     return {
         name: os.environ.get(name)
-        for name in ("REPRO_BACKEND", "REPRO_FAULTS", "REPRO_OBS")
+        for name in (
+            "REPRO_BACKEND",
+            "REPRO_FAULTS",
+            "REPRO_OBS",
+            "REPRO_ENGINE_EXECUTION",
+            "REPRO_ENGINE_MORSEL",
+        )
     }
 
 

@@ -23,6 +23,11 @@ from repro.engine.expressions import (
     lit,
 )
 from repro.engine.columnar import ColumnBatch, ColumnVector
+from repro.engine.morsel import (
+    MORSEL_ENV_VAR,
+    MorselExecutor,
+    resolve_morsel_size,
+)
 from repro.engine.operators import (
     ColumnarExecutor,
     ExecutionMetrics,
@@ -53,8 +58,11 @@ __all__ = [
     "EXECUTION_ENV_VAR",
     "ExecutionMetrics",
     "Executor",
+    "MORSEL_ENV_VAR",
+    "MorselExecutor",
     "choose_execution",
     "resolve_execution_mode",
+    "resolve_morsel_size",
     "Expression",
     "FunctionCall",
     "InList",

@@ -116,6 +116,7 @@ class Database(TableProvider):
         plan: lp.PlanNode,
         optimized: bool = True,
         execution: Optional[str] = None,
+        morsel_size: Optional[int] = None,
     ) -> List[Row]:
         """Execute a logical plan, optionally optimizing it first.
 
@@ -123,18 +124,31 @@ class Database(TableProvider):
         literal value lists before planning.  ``execution`` selects the
         executor per plan (``"row"``, ``"columnar"``, or ``"auto"``);
         when ``None`` it defaults to the ``REPRO_ENGINE_EXECUTION``
-        environment variable, then ``"auto"``.
+        environment variable, then ``"auto"``.  ``morsel_size`` enables
+        morsel-parallel columnar execution (``None`` consults
+        ``REPRO_ENGINE_MORSEL``; unset keeps the legacy executors).
         """
-        plan = self._materialize_subqueries(plan)
+        from repro.engine.morsel import MorselExecutor, resolve_morsel_size
+
+        plan = self._materialize_subqueries(plan, morsel_size=morsel_size)
         if optimized:
             plan = self.optimize_plan(plan)
-        if choose_execution(plan, execution) == "columnar":
-            executor: Executor = ColumnarExecutor(self, self.metrics)
+        size = resolve_morsel_size(morsel_size)
+        mode = choose_execution(plan, execution, morsel=size is not None)
+        if mode == "columnar":
+            if size is not None:
+                executor: Executor = MorselExecutor(
+                    self, self.metrics, morsel_size=size
+                )
+            else:
+                executor = ColumnarExecutor(self, self.metrics)
         else:
             executor = Executor(self, self.metrics)
         return executor.execute(plan)
 
-    def _materialize_subqueries(self, plan: lp.PlanNode) -> lp.PlanNode:
+    def _materialize_subqueries(
+        self, plan: lp.PlanNode, morsel_size: Optional[int] = None
+    ) -> lp.PlanNode:
         from repro.engine.expressions import (
             InList,
             InSubquery,
@@ -145,7 +159,9 @@ class Database(TableProvider):
         def replace_subquery(expr):
             if not isinstance(expr, InSubquery):
                 return None
-            rows = self.execute_plan(expr.plan, optimized=True)
+            rows = self.execute_plan(
+                expr.plan, optimized=True, morsel_size=morsel_size
+            )
             values = []
             for row in rows:
                 if len(row) != 1:
@@ -199,15 +215,21 @@ class Database(TableProvider):
         return table_to_csv(self.table(name), path)
 
     def sql(
-        self, statement: str, execution: Optional[str] = None
+        self,
+        statement: str,
+        execution: Optional[str] = None,
+        morsel_size: Optional[int] = None,
     ) -> List[Row]:
         """Parse and execute a SQL statement.
 
         ``SELECT`` returns rows; DDL/DML statements return an empty list
         (their effect is on the catalog).  See
         :mod:`repro.engine.sqlparser` for the supported dialect, and
-        :meth:`execute_plan` for the ``execution`` mode knob.
+        :meth:`execute_plan` for the ``execution`` and ``morsel_size``
+        knobs.
         """
         from repro.engine.sqlparser import execute_sql
 
-        return execute_sql(self, statement, execution=execution)
+        return execute_sql(
+            self, statement, execution=execution, morsel_size=morsel_size
+        )

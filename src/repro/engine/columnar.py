@@ -238,7 +238,16 @@ def vector_from_scalar(value: Any, n: int) -> ColumnVector:
 
 
 def concat_vectors(vectors: Sequence[ColumnVector]) -> ColumnVector:
-    """Concatenate vectors; mismatched kinds degrade to ``object``."""
+    """Concatenate vectors, promoting kinds as a single batch would.
+
+    Mixed kinds (e.g. an int morsel followed by an all-null morsel) are
+    merged through the Python-value path, so the result's kind is exactly
+    what ``vector_from_values`` would infer over the combined values —
+    identical to never having split the batch.  An empty input yields an
+    empty all-null vector (the zero-batch concatenation identity).
+    """
+    if not vectors:
+        return all_null(0)
     kinds = {v.kind for v in vectors}
     if len(kinds) == 1 and "object" not in kinds:
         return ColumnVector(

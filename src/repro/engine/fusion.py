@@ -1,0 +1,309 @@
+"""Fused expression pipelines over column batches.
+
+PR 5's columnar executor evaluates one plan node at a time and
+materializes every intermediate batch.  This module compiles a
+*vectorizable chain* — consecutive ``Filter``/``Project`` nodes over a
+single source — into one :class:`FusedPipeline`: a picklable callable
+that runs every stage back-to-back over a single morsel, so
+intermediates live only as long as the next stage needs them and the
+whole chain ships to a :mod:`repro.parallel` worker as one task.
+
+Fusion is pure closure composition over
+:func:`repro.engine.expressions.evaluate_batch` — no new dependency, no
+code generation.  Because each stage *is* ``evaluate_batch``, a fused
+pipeline inherits the columnar layer's exactness contract (values,
+``None`` placement, float bit patterns) and its error behaviour: a
+non-vectorizable expression smuggled into a stage raises the very same
+``QueryError`` message that unfused batch evaluation raises, which the
+tests pin as "fused-vs-unfused error parity".
+
+The executor-facing helpers are :func:`chain_stages` (detect the
+longest fusible chain under a node), :func:`limit_chain` (the stricter
+shape the vectorized LIMIT path accepts), :func:`compile_stages`, and
+:func:`prune_columns` (drop source columns the chain never references
+before pickling morsels to workers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine import plan as lp
+from repro.engine.columnar import (
+    ColumnBatch,
+    ColumnVector,
+    keep_mask,
+)
+from repro.engine.expressions import (
+    Expression,
+    evaluate_batch,
+    is_vectorizable,
+)
+
+__all__ = [
+    "FilterStage",
+    "ProjectStage",
+    "EvalStage",
+    "FusedPipeline",
+    "chain_stages",
+    "limit_chain",
+    "compile_stages",
+    "prune_columns",
+]
+
+
+class FilterStage:
+    """Apply one vectorized predicate and keep the passing rows."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Expression) -> None:
+        self.predicate = predicate
+
+    def apply(self, batch: ColumnBatch) -> ColumnBatch:
+        return batch.take(self.predicate_mask(batch))
+
+    def predicate_mask(self, batch: ColumnBatch):
+        """The boolean keep mask, for callers tracking row positions."""
+        return keep_mask(evaluate_batch(self.predicate, batch))
+
+    def __getstate__(self):
+        return self.predicate
+
+    def __setstate__(self, state):
+        self.predicate = state
+
+
+class ProjectStage:
+    """Compute the projection's output columns from the incoming batch."""
+
+    __slots__ = ("expressions", "aliases")
+
+    def __init__(
+        self, expressions: Sequence[Expression], aliases: Sequence[str]
+    ) -> None:
+        self.expressions = tuple(expressions)
+        self.aliases = tuple(aliases)
+
+    def apply(self, batch: ColumnBatch) -> ColumnBatch:
+        columns = {
+            alias: evaluate_batch(expr, batch)
+            for alias, expr in zip(self.aliases, self.expressions)
+        }
+        return ColumnBatch(columns, batch.length)
+
+    def __getstate__(self):
+        return (self.expressions, self.aliases)
+
+    def __setstate__(self, state):
+        self.expressions, self.aliases = state
+
+
+class EvalStage:
+    """Evaluate expressions into named vectors (aggregate inputs).
+
+    The fused aggregate path evaluates group-by keys and aggregate
+    arguments *per morsel* and ships only the resulting vectors back to
+    the driver, which runs the (order-sensitive, hence serial)
+    accumulation over the morsel-order concatenation.  Synthetic names
+    keep the stage independent of user aliases.
+    """
+
+    __slots__ = ("expressions", "names")
+
+    def __init__(
+        self, expressions: Sequence[Expression], names: Sequence[str]
+    ) -> None:
+        self.expressions = tuple(expressions)
+        self.names = tuple(names)
+
+    def apply(self, batch: ColumnBatch) -> ColumnBatch:
+        columns = {
+            name: evaluate_batch(expr, batch)
+            for name, expr in zip(self.names, self.expressions)
+        }
+        return ColumnBatch(columns, batch.length)
+
+    def __getstate__(self):
+        return (self.expressions, self.names)
+
+    def __setstate__(self, state):
+        self.expressions, self.names = state
+
+
+class FusedPipeline:
+    """A compiled chain of stages applied to one morsel in one task.
+
+    Calling the pipeline returns ``(batch, counts)`` where ``counts[i]``
+    is the row count *after* stage ``i`` — exactly the per-operator row
+    flow the observability layer reports, so the driver can reconstruct
+    serial-identical ``engine.operator.rows`` totals by summing counts
+    over morsels in any order.
+    """
+
+    __slots__ = ("stages",)
+
+    def __init__(self, stages: Sequence[object]) -> None:
+        self.stages = tuple(stages)
+
+    def __call__(
+        self, batch: ColumnBatch
+    ) -> Tuple[ColumnBatch, Tuple[int, ...]]:
+        counts: List[int] = []
+        for stage in self.stages:
+            batch = stage.apply(batch)
+            counts.append(batch.length)
+        return batch, tuple(counts)
+
+    def __getstate__(self):
+        return self.stages
+
+    def __setstate__(self, state):
+        self.stages = state
+
+
+def _is_stage(node: lp.PlanNode) -> bool:
+    if isinstance(node, lp.Filter):
+        return is_vectorizable(node.predicate)
+    if isinstance(node, lp.Project):
+        return all(is_vectorizable(e) for e in node.expressions)
+    return False
+
+
+def chain_stages(
+    node: lp.PlanNode,
+) -> Optional[Tuple[lp.PlanNode, List[lp.PlanNode]]]:
+    """The longest fusible ``Filter``/``Project`` chain rooted at ``node``.
+
+    Returns ``(source, stages)`` with ``stages`` ordered source-to-top
+    (execution order), or ``None`` when ``node`` itself is not a
+    vectorizable stage.  The source may be *any* plan node — the morsel
+    executor materializes it through the normal batch/row machinery and
+    only the chain above it is fused.
+    """
+    stages: List[lp.PlanNode] = []
+    current = node
+    while _is_stage(current):
+        stages.append(current)
+        current = current.children()[0]
+    if not stages:
+        return None
+    stages.reverse()
+    return current, stages
+
+
+def _uniform_values(node: lp.PlanNode) -> bool:
+    if not isinstance(node, lp.Values):
+        return False
+    rows = node.rows
+    return not rows or all(tuple(r) == tuple(rows[0]) for r in rows)
+
+
+def limit_chain(
+    node: lp.PlanNode,
+) -> Optional[Tuple[lp.PlanNode, List[lp.PlanNode]]]:
+    """The shape the vectorized LIMIT path accepts, or ``None``.
+
+    A ``Limit`` qualifies only when its child is a fusible chain (or
+    nothing at all) over a ``Scan`` or uniform ``Values`` source: those
+    sources have no side metrics of their own, so the row engine's exact
+    short-circuit accounting (how many rows each operator yielded before
+    the limit stopped pulling) can be reconstructed from keep masks.
+    Anything else — a join below the limit, a non-vectorizable
+    predicate — keeps the whole plan in row mode, as before this
+    optimization.
+    """
+    if not isinstance(node, lp.Limit):
+        return None
+    found = chain_stages(node.child)
+    source, stages = found if found is not None else (node.child, [])
+    if isinstance(source, lp.Scan) or _uniform_values(source):
+        return source, stages
+    return None
+
+
+def compile_stages(stage_nodes: Sequence[lp.PlanNode]) -> List[object]:
+    """Compile plan-node stages into their executable stage objects."""
+    stages: List[object] = []
+    for node in stage_nodes:
+        if isinstance(node, lp.Filter):
+            stages.append(FilterStage(node.predicate))
+        elif isinstance(node, lp.Project):
+            stages.append(ProjectStage(node.expressions, node.aliases))
+        else:  # pragma: no cover - guarded by chain_stages
+            raise TypeError(f"not a fusible stage: {type(node).__name__}")
+    return stages
+
+
+def _resolve_key(columns: Dict[str, ColumnVector], name: str) -> Optional[str]:
+    """The batch key ``name`` resolves to, mirroring ``ColumnBatch.resolve``.
+
+    Returns ``None`` when resolution would fail or be ambiguous — the
+    caller must then skip pruning entirely, because evaluation against
+    the pruned batch could resolve differently (or error differently)
+    than against the full batch.
+    """
+    if name in columns:
+        return name
+    suffix = "." + name
+    matches = [k for k in columns if k.endswith(suffix)]
+    if len(matches) == 1:
+        return matches[0]
+    if matches:
+        return None
+    if "." in name and not any("." in key for key in columns):
+        tail = name.rsplit(".", 1)[1]
+        if tail in columns:
+            return tail
+    return None
+
+
+def prune_columns(
+    batch: ColumnBatch,
+    stage_nodes: Sequence[lp.PlanNode],
+    extra_exprs: Sequence[Expression] = (),
+) -> ColumnBatch:
+    """Drop source columns the fused chain never reads.
+
+    Morsels cross a process boundary on the process backend, so unused
+    source columns are pure pickling overhead.  Pruning is applied only
+    when it provably cannot change results:
+
+    * the chain's output is fully determined by expressions (it contains
+      a ``Project``, or ends in an :class:`EvalStage` via
+      ``extra_exprs``) — a filter-only chain outputs *all* source
+      columns and is never pruned;
+    * every referenced name resolves uniquely against the **full**
+      column set.  Keeping exactly the resolved targets preserves each
+      reference's resolution (removing columns cannot create new suffix
+      matches), so evaluation over the pruned batch is identical.
+    """
+    referenced: set = set()
+    saw_project = False
+    for node in stage_nodes:
+        if isinstance(node, lp.Filter):
+            referenced |= node.predicate.columns()
+        else:
+            for expr in node.expressions:
+                referenced |= expr.columns()
+            saw_project = True
+            # Stages above the first projection reference its aliases,
+            # not source columns.
+            break
+    if not saw_project:
+        if not extra_exprs:
+            return batch
+        for expr in extra_exprs:
+            referenced |= expr.columns()
+    keep: set = set()
+    for name in referenced:
+        key = _resolve_key(batch.columns, name)
+        if key is None:
+            return batch
+        keep.add(key)
+    if len(keep) == len(batch.columns):
+        return batch
+    columns = {
+        name: vec for name, vec in batch.columns.items() if name in keep
+    }
+    return ColumnBatch(columns, batch.length)

@@ -609,6 +609,87 @@ def _aggregate_python(
     return vector_from_values([s.result() for s in states])
 
 
+class HashJoinExec:
+    """Hash equi-join: per-left-row probe of the right side's code index.
+
+    One executor class per physical join operator (the EVA idiom): the
+    planner picks an algorithm, ``_equi_join_batch`` instantiates the
+    matching class, and everything around pair generation — residual
+    predicates, metrics, left-outer padding, output order — is shared.
+
+    Emits candidate pairs left-major in original left order, with right
+    matches in ascending original right position (the stable argsort of
+    the right codes), exactly like the row engine's bucket probe.
+    """
+
+    name = "hash"
+
+    def candidate_pairs(
+        self, lcodes: np.ndarray, rcodes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        order = np.argsort(rcodes, kind="stable")
+        sorted_rcodes = rcodes[order]
+        starts = np.searchsorted(sorted_rcodes, lcodes, side="left")
+        ends = np.searchsorted(sorted_rcodes, lcodes, side="right")
+        counts = ends - starts
+        total = int(counts.sum())
+        pair_left = np.repeat(np.arange(len(lcodes)), counts)
+        offsets = np.arange(total) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        pair_right = order[np.repeat(starts, counts) + offsets]
+        return pair_left, pair_right
+
+
+class SortMergeJoinExec:
+    """Sort-merge equi-join over the factorized key codes.
+
+    Sorts both sides once and walks the matching code runs — O((n+m)
+    log(n+m) + pairs) instead of a per-left-row binary search, which wins
+    when both sides are large and keys are near-unique.  The candidate
+    pair *set* is identical to the hash executor's by construction, and
+    a final ``lexsort((pair_right, pair_left))`` restores the hash
+    executor's exact emission order, so downstream residual evaluation,
+    metrics, and row order are byte-identical whichever algorithm the
+    planner picks.
+    """
+
+    name = "sort_merge"
+
+    def candidate_pairs(
+        self, lcodes: np.ndarray, rcodes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        lorder = np.argsort(lcodes, kind="stable")
+        rorder = np.argsort(rcodes, kind="stable")
+        sorted_l = lcodes[lorder]
+        sorted_r = rcodes[rorder]
+        common = np.intersect1d(sorted_l, sorted_r)
+        lstarts = np.searchsorted(sorted_l, common, side="left")
+        lcounts = np.searchsorted(sorted_l, common, side="right") - lstarts
+        rstarts = np.searchsorted(sorted_r, common, side="left")
+        rcounts = np.searchsorted(sorted_r, common, side="right") - rstarts
+        sizes = lcounts * rcounts
+        total = int(sizes.sum())
+        if total == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        grp = np.repeat(np.arange(len(common)), sizes)
+        within = np.arange(total) - np.repeat(
+            np.cumsum(sizes) - sizes, sizes
+        )
+        pair_left = lorder[lstarts[grp] + within // rcounts[grp]]
+        pair_right = rorder[rstarts[grp] + within % rcounts[grp]]
+        emit = np.lexsort((pair_right, pair_left))
+        return pair_left[emit], pair_right[emit]
+
+
+#: Physical join algorithm registry, keyed by ``lp.Join.algorithm``.
+JOIN_EXECS = {
+    HashJoinExec.name: HashJoinExec,
+    SortMergeJoinExec.name: SortMergeJoinExec,
+}
+
+
 class ColumnarExecutor(Executor):
     """Batch-at-a-time executor, byte-identical to :class:`Executor`.
 
@@ -751,11 +832,11 @@ class ColumnarExecutor(Executor):
                 )
             )
             return self._rows_to_batch(rows, node)
-        return self._hash_join_batch(
-            left, right, lkeys, rkeys, residual, node.how
+        return self._equi_join_batch(
+            left, right, lkeys, rkeys, residual, node.how, node.algorithm
         )
 
-    def _hash_join_batch(
+    def _equi_join_batch(
         self,
         left: ColumnBatch,
         right: ColumnBatch,
@@ -763,6 +844,7 @@ class ColumnarExecutor(Executor):
         rkeys: List[Expression],
         residual: List[Expression],
         how: str,
+        algorithm: Optional[str] = None,
     ) -> ColumnBatch:
         n_left, n_right = left.length, right.length
         lcodes = np.zeros(n_left, dtype=np.int64)
@@ -777,20 +859,10 @@ class ColumnarExecutor(Executor):
                 n_sub,
             )
             lcodes, rcodes = both[:n_left], both[n_left:]
-        # Candidate pairs: for each left row, the right rows whose key
-        # codes match (the row engine's hash-bucket probe, batched).
-        order = np.argsort(rcodes, kind="stable")
-        sorted_rcodes = rcodes[order]
-        starts = np.searchsorted(sorted_rcodes, lcodes, side="left")
-        ends = np.searchsorted(sorted_rcodes, lcodes, side="right")
-        counts = ends - starts
-        total = int(counts.sum())
+        exec_cls = JOIN_EXECS[algorithm or "hash"]
+        pair_left, pair_right = exec_cls().candidate_pairs(lcodes, rcodes)
+        total = len(pair_left)
         self.metrics.join_pairs_examined += total
-        pair_left = np.repeat(np.arange(n_left), counts)
-        offsets = np.arange(total) - np.repeat(
-            np.cumsum(counts) - counts, counts
-        )
-        pair_right = order[np.repeat(starts, counts) + offsets]
         merged = self._merge_batches(
             left.take(pair_left), right.take(pair_right)
         )
@@ -865,9 +937,29 @@ class ColumnarExecutor(Executor):
     # -- aggregate -------------------------------------------------------
     def _aggregate_batch(self, node: lp.Aggregate) -> ColumnBatch:
         child = self._child_batch(node.child)
-        n = child.length
+        key_vecs = [evaluate_batch(e, child) for e in node.group_by]
+        arg_vecs = [
+            None if spec.argument is None
+            else evaluate_batch(spec.argument, child)
+            for spec in node.aggregates
+        ]
+        return self._finish_aggregate(node, key_vecs, arg_vecs, child.length)
+
+    def _finish_aggregate(
+        self,
+        node: lp.Aggregate,
+        key_vecs: List[ColumnVector],
+        arg_vecs: List[Optional[ColumnVector]],
+        n: int,
+    ) -> ColumnBatch:
+        """Group and accumulate already-evaluated key/argument vectors.
+
+        Split out of :meth:`_aggregate_batch` so the morsel executor can
+        evaluate keys and arguments per morsel, concatenate in morsel
+        order, and run this (order-sensitive — float addition is not
+        associative) accumulation serially on the driver.
+        """
         if node.group_by:
-            key_vecs = [evaluate_batch(e, child) for e in node.group_by]
             gcodes, first_rows = _group_codes(key_vecs, n)
             n_groups = len(first_rows)
             if n_groups == 0:
@@ -876,30 +968,28 @@ class ColumnarExecutor(Executor):
                 ]
                 return ColumnBatch.from_rows([], names)
         else:
-            key_vecs = []
             first_rows = np.zeros(0, dtype=np.int64)
             gcodes = np.zeros(n, dtype=np.int64)
             n_groups = 1
         columns: Dict[str, ColumnVector] = {}
         for alias, vec in zip(node.group_aliases, key_vecs):
             columns[alias] = vec.take(first_rows)
-        for spec in node.aggregates:
-            columns[spec.alias] = self._aggregate_column(
-                spec, child, gcodes, n_groups
+        for spec, vec in zip(node.aggregates, arg_vecs):
+            columns[spec.alias] = self._aggregate_vector(
+                spec, vec, gcodes, n_groups
             )
         return ColumnBatch(columns, n_groups)
 
-    def _aggregate_column(
+    def _aggregate_vector(
         self,
         spec: lp.AggregateSpec,
-        child: ColumnBatch,
+        vec: Optional[ColumnVector],
         gcodes: np.ndarray,
         n_groups: int,
     ) -> ColumnVector:
-        if spec.argument is None:
+        if vec is None:
             counts = np.bincount(gcodes, minlength=n_groups)
             return vector_from_values([int(c) for c in counts])
-        vec = evaluate_batch(spec.argument, child)
         if not self._numeric_aggregable(spec, vec):
             return _aggregate_python(spec, vec, gcodes, n_groups)
         valid = vec.valid

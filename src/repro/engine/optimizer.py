@@ -15,6 +15,7 @@ Two classical rewrites are implemented:
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.engine import plan as lp
@@ -266,15 +267,84 @@ def reorder_joins(
     return current
 
 
+#: Both join sides must clear this estimated row count before sort-merge
+#: is considered: below it, the hash probe's per-left-row binary search
+#: is cheap and the extra sorts never pay off.
+SORT_MERGE_MIN_ROWS = 512.0
+
+#: Minimum distinct-values/rows ratio on an equi-key column.  Sort-merge
+#: wins on near-unique keys (short merge runs); heavy duplication means
+#: large cartesian runs where the hash layout is no worse.
+SORT_MERGE_MIN_NDV_RATIO = 0.8
+
+
+def _key_ndv_ratio(
+    node: lp.PlanNode,
+    condition: Expression,
+    stats_lookup: StatsLookup,
+) -> Optional[float]:
+    """Best distinct/rows ratio among equi-key columns of one join side."""
+    stats = _scan_stats(node, stats_lookup)
+    if stats is None or not stats.row_count:
+        return None
+    referenced = condition.columns()
+    best: Optional[float] = None
+    for name in referenced:
+        col = stats.column(name)
+        if col is None or not col.distinct_count:
+            continue
+        ratio = col.distinct_count / stats.row_count
+        if best is None or ratio > best:
+            best = ratio
+    return best
+
+
+def choose_join_algorithms(
+    node: lp.PlanNode, stats_lookup: StatsLookup
+) -> lp.PlanNode:
+    """Annotate equi-joins with a physical algorithm (hash vs sort-merge).
+
+    Purely a performance hint — both executors emit byte-identical
+    candidate pairs in the same order (see
+    :class:`repro.engine.operators.SortMergeJoinExec`).  Sort-merge is
+    chosen when both sides are estimated large and an equi-key column
+    looks near-unique; everything else keeps the hash default.  Runs
+    *after* all structural rewrites because ``push_down_filters`` rebuilds
+    joins without the annotation.
+    """
+    children = [
+        choose_join_algorithms(c, stats_lookup) for c in node.children()
+    ]
+    if children:
+        node = node.with_children(children)
+    if not isinstance(node, lp.Join) or node.condition is None:
+        return node
+    if node.algorithm is not None:
+        return node
+    left_rows = _estimate_rows(node.left, stats_lookup)
+    right_rows = _estimate_rows(node.right, stats_lookup)
+    if min(left_rows, right_rows) < SORT_MERGE_MIN_ROWS:
+        return node
+    ratios = [
+        _key_ndv_ratio(side, node.condition, stats_lookup)
+        for side in (node.left, node.right)
+    ]
+    known = [r for r in ratios if r is not None]
+    if not known or min(known) < SORT_MERGE_MIN_NDV_RATIO:
+        return node
+    return replace(node, algorithm="sort_merge")
+
+
 def optimize(
     node: lp.PlanNode,
     schema_lookup: Callable[[str], Sequence[str]],
     stats_lookup: StatsLookup,
 ) -> lp.PlanNode:
-    """Apply all rewrites: pushdown, reorder, then pushdown again."""
+    """Apply all rewrites: pushdown, reorder, pushdown, then physical hints."""
     node = push_down_filters(node, schema_lookup)
     node = reorder_joins(node, stats_lookup)
     node = push_down_filters(node, schema_lookup)
+    node = choose_join_algorithms(node, stats_lookup)
     return node
 
 
@@ -307,7 +377,7 @@ def resolve_execution_mode(requested: Optional[str] = None) -> str:
 
 
 def choose_execution(
-    plan: lp.PlanNode, requested: Optional[str] = None
+    plan: lp.PlanNode, requested: Optional[str] = None, morsel: bool = False
 ) -> str:
     """Pick ``"row"`` or ``"columnar"`` for one plan.
 
@@ -316,6 +386,11 @@ def choose_execution(
     stops pulling once the limit is reached, so its per-operator
     ``engine.operator.rows`` counters reflect the short-circuit — a
     materializing batch executor could not emit identical observability.
+    With ``morsel=True`` (a :class:`repro.engine.morsel.MorselExecutor`
+    will run the plan), LIMITs whose shape the vectorized LIMIT path
+    accepts (:func:`repro.engine.fusion.limit_chain`) no longer force row
+    mode — that path evaluates morsel-incrementally and reconstructs the
+    row engine's exact short-circuit accounting.
     Individual non-vectorizable operators inside a columnar plan do not
     need this knob; :class:`repro.engine.operators.ColumnarExecutor`
     falls back per node.
@@ -323,6 +398,12 @@ def choose_execution(
     mode = resolve_execution_mode(requested)
     if mode == "row":
         return "row"
-    if any(isinstance(node, lp.Limit) for node in lp.walk(plan)):
-        return "row"
+    limits = [n for n in lp.walk(plan) if isinstance(n, lp.Limit)]
+    if limits:
+        if not morsel:
+            return "row"
+        from repro.engine.fusion import limit_chain
+
+        if any(limit_chain(n) is None for n in limits):
+            return "row"
     return "columnar"

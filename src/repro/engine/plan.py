@@ -97,17 +97,25 @@ class Join(PlanNode):
     """Join two relations.
 
     ``condition`` may be ``None`` for a cross join.  ``how`` is ``"inner"``
-    or ``"left"``.
+    or ``"left"``.  ``algorithm`` is a physical-operator hint set by the
+    optimizer — ``None`` (executor default), ``"hash"``, or
+    ``"sort_merge"`` — and never changes results, only the pair-generation
+    strategy.
     """
 
     left: PlanNode
     right: PlanNode
     condition: Optional[Expression] = None
     how: str = "inner"
+    algorithm: Optional[str] = None
 
     def __post_init__(self):
         if self.how not in ("inner", "left"):
             raise QueryError(f"unsupported join type {self.how!r}")
+        if self.algorithm not in (None, "hash", "sort_merge"):
+            raise QueryError(
+                f"unsupported join algorithm {self.algorithm!r}"
+            )
 
     def children(self):
         return (self.left, self.right)

@@ -130,10 +130,29 @@ def predicate_selectivity(
     if isinstance(predicate, UnaryOp) and predicate.op == "not":
         return 1.0 - predicate_selectivity(predicate.operand, stats)
     if isinstance(predicate, InList):
+        # ``col IN (v1, ..., vk)``: of the column's NDV distinct values,
+        # at most ``min(k_distinct, NDV)`` can match, each holding
+        # ~``1/NDV`` of the non-null rows (uniformity assumption) — so
+        # the matched fraction is ``min(k, NDV)/NDV`` scaled by the
+        # non-null fraction.  Duplicated list literals are deduplicated
+        # first; without usable statistics, fall back to the classical
+        # ``k × equality-selectivity`` bound.
+        distinct_literals = len(set(predicate.values))
+        if isinstance(predicate.operand, Column):
+            col_stats = stats.column(predicate.operand.name)
+            if (
+                col_stats is not None
+                and col_stats.distinct_count > 0
+                and stats.row_count > 0
+            ):
+                ndv = col_stats.distinct_count
+                matched = min(distinct_literals, ndv)
+                non_null = 1.0 - col_stats.null_count / stats.row_count
+                return min(1.0, (matched / ndv) * non_null)
         names = predicate.operand.columns()
         if len(names) == 1:
             sel = equality_selectivity(stats, next(iter(names)))
-            return min(1.0, sel * len(predicate.values))
+            return min(1.0, sel * distinct_literals)
         return 0.3
     if isinstance(predicate, IsNull):
         return 0.1 if not predicate.negated else 0.9

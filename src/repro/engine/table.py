@@ -52,6 +52,7 @@ class Table:
         self.name = name
         self.schema = schema
         self._rows: List[Row] = []
+        self._version = 0
         if rows is not None:
             self.insert_many(rows)
 
@@ -99,6 +100,7 @@ class Table:
     def insert(self, row: Mapping[str, Any]) -> None:
         """Validate, coerce and append one row."""
         self._rows.append(self.schema.validate_row(row))
+        self._version += 1
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
         """Insert many rows; returns the number inserted."""
@@ -114,6 +116,7 @@ class Table:
         self._rows = [
             r for r in self._rows if predicate.evaluate(r) is not True
         ]
+        self._version += 1
         return before - len(self._rows)
 
     def update_where(
@@ -134,11 +137,13 @@ class Table:
                 }
                 row.update(updates)
                 count += 1
+        self._version += 1
         return count
 
     def truncate(self) -> None:
         """Remove all rows."""
         self._rows.clear()
+        self._version += 1
 
     # -- access ------------------------------------------------------------
     def __len__(self) -> int:
@@ -151,8 +156,22 @@ class Table:
         return f"Table({self.name!r}, {len(self)} rows, {self.schema!r})"
 
     @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutating method.
+
+        Cache keys (e.g. the morsel executor's scan-batch cache) pair it
+        with the row count; edits made directly through :attr:`rows`
+        bypass it, which such caches guard against only by length.
+        """
+        return self._version
+
+    @property
     def rows(self) -> List[Row]:
-        """Direct (mutable) access to the stored rows."""
+        """Direct (mutable) access to the stored rows.
+
+        Mutating the returned list bypasses schema validation *and* the
+        :attr:`version` counter — prefer the mutation methods.
+        """
         return self._rows
 
     def column_values(self, name: str) -> List[Any]:

@@ -53,7 +53,13 @@ from repro.faults.retry import (
     TaskFailed,
     run_with_retry,
 )
-from repro.obs import get_observer, suppressed
+from repro.obs import NullObserver, get_observer, suppressed
+
+#: Stand-in observer for ``quiet`` maps: driver-side ``parallel.*``
+#: metrics are dropped without touching the process-wide observer state
+#: (``suppressed()`` would also mute anything the caller emits around
+#: the map).  Task interiors are always suppressed regardless.
+_QUIET = NullObserver()
 
 #: Environment variable naming the default backend for the whole library.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
@@ -230,6 +236,7 @@ class Backend:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
         on_error: str = "raise",
+        quiet: bool = False,
     ) -> List[Any]:
         """Apply ``fn`` to every item, returning results in input order."""
         return self.map_with_stats(
@@ -240,6 +247,7 @@ class Backend:
             retry=retry,
             faults=faults,
             on_error=on_error,
+            quiet=quiet,
         )[0]
 
     def map_with_stats(
@@ -252,14 +260,19 @@ class Backend:
         retry: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
         on_error: str = "raise",
+        quiet: bool = False,
     ) -> Tuple[List[Any], RetryStats]:
         """Ordered map returning ``(results, RetryStats)``.
 
         ``scope`` names the fan-out for fault-plan targeting (e.g.
-        ``"mapreduce.map"``, ``"pf.shard"``); ``retry`` overrides the
+        ``"mapreduce.map"``, ``"pf.shard"``, or the engine's
+        ``"engine.morsel"`` for morsel fan-outs); ``retry`` overrides the
         recovery policy; ``faults`` overrides the process-wide plan;
         ``on_error="collect"`` substitutes :class:`TaskFailed` objects
-        for terminally failed results instead of raising.
+        for terminally failed results instead of raising.  ``quiet=True``
+        skips the driver-side ``parallel.*``/``faults.*`` metrics — used
+        by callers whose obs output must not depend on how work was
+        fanned out (the morsel executor's byte-identity contract).
         """
         raise NotImplementedError
 
@@ -285,9 +298,10 @@ class SerialBackend(Backend):
         retry=None,
         faults=None,
         on_error="raise",
+        quiet=False,
     ):
         items = list(items)
-        observer = get_observer()
+        observer = _QUIET if quiet else get_observer()
         observer.counter("parallel.map_calls").inc()
         observer.counter("parallel.tasks").add(len(items))
         policy, plan = _resolve_recovery(retry, faults)
@@ -370,9 +384,10 @@ class _PooledBackend(Backend):
         retry=None,
         faults=None,
         on_error="raise",
+        quiet=False,
     ):
         items = list(items)
-        observer = get_observer()
+        observer = _QUIET if quiet else get_observer()
         observer.counter("parallel.map_calls").inc()
         observer.counter("parallel.tasks").add(len(items))
         policy, plan = _resolve_recovery(retry, faults)

@@ -16,6 +16,9 @@ from benchmarks._util import RESULTS_DIR, BenchConfig
 from benchmarks.bench_engine_columnar import (
     run_experiment as run_columnar_experiment,
 )
+from benchmarks.bench_engine_morsel import (
+    run_experiment as run_morsel_experiment,
+)
 from benchmarks.bench_ensemble_reuse import (
     run_experiment as run_ensemble_experiment,
 )
@@ -49,6 +52,16 @@ def test_quick_engine_columnar():
     assert len(rows) == 3
     assert all(identical.values())
     assert all(s > 0 for s in speedups.values())
+
+
+def test_quick_engine_morsel():
+    outcome = run_morsel_experiment(QUICK)
+    # Three workloads, byte-identical results and obs snapshots across
+    # all five execution configurations.
+    assert len(outcome["rows"]) == 3
+    assert all(outcome["identical"].values())
+    assert all(outcome["obs_identical"].values())
+    assert all(outcome["metrics_identical"].values())
 
 
 def test_quick_parallel_backends():
@@ -93,4 +106,5 @@ def test_save_json_writes_self_describing_document(tmp_path, monkeypatch):
     assert document["git_commit"]
     assert set(document["env"]) == {
         "REPRO_BACKEND", "REPRO_FAULTS", "REPRO_OBS",
+        "REPRO_ENGINE_EXECUTION", "REPRO_ENGINE_MORSEL",
     }
