@@ -1,0 +1,242 @@
+"""BENCH_serve — throughput and deduplication of the simulation service.
+
+The :mod:`repro.serve` layer claims that concurrency is free twice
+over: distinct requests pipeline through the admission-controlled
+executor pool, and *identical* concurrent requests cost one execution
+(single-flight dedup + result cache) while every client still receives
+byte-identical payloads.  This benchmark records both claims as
+numbers, plus the load-shedding behaviour that keeps the server from
+queueing unboundedly:
+
+* ``throughput_rps`` — distinct SQL requests per second through one
+  server (client threads x requests each, all unique cache keys);
+* ``dedupe_ratio`` — fraction of identical concurrent requests served
+  without execution (``1 - executions/requests``), with the byte-
+  identity of every response asserted;
+* ``shed`` — requests explicitly rejected ``overloaded`` by a
+  deliberately tiny (1 in-flight, 2 queued) server under a burst, with
+  zero deadlocks (every request gets *an* answer).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from benchmarks._util import (
+    BenchConfig,
+    format_table,
+    save_json,
+    save_report,
+)
+from repro.serve import Client, ReproServer, ServeConfig
+from repro.serve.protocol import ServeError
+from repro.serve.server import build_demo_catalog, serve_in_thread
+
+MCDB_REQUEST = {
+    "tables": [
+        {
+            "name": "noise",
+            "vg": "normal",
+            "outer_table": "person",
+            "parameters": {"mean": 0.0, "std": 1.0},
+        }
+    ],
+    "statement": "SELECT AVG(value) AS v FROM noise",
+    "seed": 17,
+}
+
+
+def _fanout(n_threads, worker):
+    """Run ``worker(slot)`` on ``n_threads`` threads; re-raise failures."""
+    errors = []
+
+    def body(slot):
+        try:
+            worker(slot)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the caller
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=body, args=(slot,))
+        for slot in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+def _throughput(host, port, clients, requests_each):
+    """Distinct-key SQL requests per second across concurrent clients."""
+
+    def worker(slot):
+        with Client(host, port) as client:
+            for i in range(requests_each):
+                # unique constant per request -> unique cache key ->
+                # every request actually executes
+                client.sql(
+                    "SELECT region, COUNT(*) AS n FROM person "
+                    f"WHERE age < {slot * requests_each + i + 200} "
+                    "GROUP BY region ORDER BY region"
+                )
+
+    start = time.perf_counter()
+    _fanout(clients, worker)
+    seconds = time.perf_counter() - start
+    total = clients * requests_each
+    return total, seconds, total / seconds if seconds > 0 else 0.0
+
+
+def _dedupe(host, port, clients, requests_each, n_mc):
+    """Identical mcdb requests from many clients: one execution total."""
+    body = dict(MCDB_REQUEST, n_mc=n_mc)
+    payloads = set()
+    payload_lock = threading.Lock()
+    with Client(host, port) as client:
+        before = client.stats()["cache"]
+
+    def worker(slot):
+        with Client(host, port) as client:
+            for _ in range(requests_each):
+                outcome = client.mcdb(**body)
+                with payload_lock:
+                    payloads.add(outcome.result_bytes)
+
+    start = time.perf_counter()
+    _fanout(clients, worker)
+    seconds = time.perf_counter() - start
+    with Client(host, port) as client:
+        after = client.stats()["cache"]
+    total = clients * requests_each
+    executions = after["misses"] - before["misses"]
+    ratio = 1.0 - executions / total if total else 0.0
+    return {
+        "requests": total,
+        "executions": executions,
+        "hits": after["hits"] - before["hits"],
+        "coalesced": after["coalesced"] - before["coalesced"],
+        "dedupe_ratio": ratio,
+        "seconds": seconds,
+        "byte_identical": len(payloads) == 1,
+    }
+
+
+def _shedding(backend, burst):
+    """Burst a tiny server; every request must resolve, some as shed."""
+    config = ServeConfig(
+        port=0, max_in_flight=1, max_queue=2, backend=backend
+    )
+    server = ReproServer(config, catalog=build_demo_catalog())
+    answered = []
+    shed = []
+    lock = threading.Lock()
+    with serve_in_thread(server) as (host, port):
+
+        def worker(slot):
+            with Client(host, port) as client:
+                try:
+                    client.ping(delay=0.2)
+                    with lock:
+                        answered.append(slot)
+                except ServeError as exc:
+                    if exc.code != "overloaded":
+                        raise
+                    with lock:
+                        shed.append(slot)
+
+        _fanout(burst, worker)
+    return {
+        "burst": burst,
+        "answered": len(answered),
+        "shed": len(shed),
+        "all_resolved": len(answered) + len(shed) == burst,
+    }
+
+
+def run_experiment(config: BenchConfig = BenchConfig()):
+    """Measure serve throughput, dedupe ratio, and load shedding.
+
+    Returns ``(rows, dedupe, shed)``: display rows plus the dedupe and
+    shedding detail dicts.
+    """
+    clients = 2 if config.quick else 6
+    requests_each = 4 if config.quick else 25
+    dedupe_requests_each = 2 if config.quick else 8
+    n_mc = 8 if config.quick else 60
+    burst = 4 if config.quick else 12
+
+    server = ReproServer(
+        ServeConfig(port=0, max_in_flight=4, backend=config.backend),
+        catalog=build_demo_catalog(),
+    )
+    with serve_in_thread(server) as (host, port):
+        total, seconds, rps = _throughput(host, port, clients, requests_each)
+        dedupe = _dedupe(host, port, clients, dedupe_requests_each, n_mc)
+    shed = _shedding(config.backend, burst)
+
+    rows = [
+        ("throughput", total, seconds, f"{rps:.0f} req/s"),
+        (
+            "dedupe",
+            dedupe["requests"],
+            dedupe["seconds"],
+            f"{dedupe['dedupe_ratio']:.2f} deduped "
+            f"({dedupe['executions']} exec)",
+        ),
+        (
+            "shedding",
+            shed["burst"],
+            0.0,
+            f"{shed['shed']} shed / {shed['answered']} answered",
+        ),
+    ]
+    return rows, dedupe, shed
+
+
+def _persist(config: BenchConfig, rows, dedupe, shed) -> None:
+    table = format_table(
+        ("workload", "requests", "seconds", "outcome"), rows
+    )
+    save_report("BENCH_serve", table)
+    save_json(
+        "BENCH_serve",
+        {
+            "quick": config.quick,
+            "backend": config.backend,
+            "throughput": {
+                "requests": rows[0][1],
+                "seconds": rows[0][2],
+                "requests_per_second": rows[0][1] / rows[0][2]
+                if rows[0][2]
+                else 0.0,
+            },
+            "dedupe": dedupe,
+            "shedding": shed,
+        },
+    )
+
+
+def test_serve(benchmark, bench_config):
+    rows, dedupe, shed = benchmark.pedantic(
+        run_experiment, args=(bench_config,), rounds=1, iterations=1
+    )
+    _persist(bench_config, rows, dedupe, shed)
+    # The dedupe acceptance bar: N identical concurrent requests cost
+    # exactly one execution and every response is byte-identical.
+    assert dedupe["executions"] == 1, dedupe
+    assert dedupe["byte_identical"], dedupe
+    # Load shedding is explicit, never a hang: every request resolved.
+    assert shed["all_resolved"], shed
+
+
+def main() -> None:
+    config = BenchConfig.from_env()
+    rows, dedupe, shed = run_experiment(config)
+    _persist(config, rows, dedupe, shed)
+
+
+if __name__ == "__main__":
+    main()

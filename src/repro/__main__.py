@@ -16,6 +16,11 @@ paths, and dumps a Chrome-trace JSON plus a metrics snapshot.
 ``run`` schedules a demo ensemble against the content-addressed run
 store (re-running serves every node from the warm store), ``ls`` lists
 stored runs, and ``gc`` evicts by age/size.
+
+``serve`` starts the :mod:`repro.serve` simulation service (async
+multi-client server with admission control, session isolation, and a
+deduplicating result cache); ``query`` is the matching one-shot SQL
+client.
 """
 
 from __future__ import annotations
@@ -39,6 +44,10 @@ commands:
   obs-report  run an instrumented experiment, dump trace + metrics snapshots
   ensemble    scenario orchestration: run a demo ensemble against the
               content-addressed run store, list stored runs, or gc the store
+  serve       start the simulation service (SQL + MCDB + ensembles over
+              newline-delimited JSON, with admission control and a
+              deduplicating result cache)
+  query       one-shot SQL client for a running `serve` instance
 
 run `python -m repro <command> --help` for per-command options.
 """
@@ -147,12 +156,31 @@ def _tour_ensemble() -> None:
           f"node(s), warm rerun served {warm.nodes_cached} from the store")
 
 
+def _tour_serve() -> None:
+    from repro.serve import Client, ReproServer, ServeConfig
+    from repro.serve import build_demo_catalog, serve_in_thread
+
+    server = ReproServer(ServeConfig(), catalog=build_demo_catalog())
+    statement = (
+        "SELECT region, COUNT(*) AS n, AVG(income) AS income "
+        "FROM person GROUP BY region ORDER BY region"
+    )
+    with serve_in_thread(server) as (host, port):
+        with Client(host, port) as client:
+            first = client.sql(statement)
+            second = client.sql(statement)
+    identical = first.result_bytes == second.result_bytes
+    print(f"[serve]       2 clientside queries -> {first.cache} then "
+          f"{second.cache} (payloads byte-identical: {identical})")
+
+
 TOUR_STAGES: Tuple[Tuple[str, Callable[[], None]], ...] = (
     ("mcdb", _tour_mcdb),
     ("indemics", _tour_indemics),
     ("assimilate", _tour_assimilation),
     ("caching", _tour_caching),
     ("ensemble", _tour_ensemble),
+    ("serve", _tour_serve),
 )
 
 
@@ -230,6 +258,90 @@ def ensemble_gc(args) -> int:
     )
     print(f"evicted {len(evicted)} run(s) from {store.root!r}; "
           f"{store.total_bytes()} bytes retained")
+    return 0
+
+
+# -- serve ------------------------------------------------------------------
+
+def serve_cmd(args) -> int:
+    import asyncio
+
+    from repro.serve import ReproServer, ServeConfig
+    from repro.serve.server import build_demo_catalog, load_csv_catalog
+
+    catalog = None
+    if args.csv:
+        specs = {}
+        for item in args.csv:
+            name, _, path = item.partition("=")
+            if not name or not path:
+                print(f"--csv expects NAME=PATH, got {item!r}",
+                      file=sys.stderr)
+                return 2
+            specs[name] = path
+        catalog = load_csv_catalog(specs)
+    elif args.demo_catalog:
+        catalog = build_demo_catalog()
+
+    store = None
+    if args.store:
+        store = _open_store(args.store)
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        queue_timeout=args.queue_timeout,
+        request_timeout=args.request_timeout,
+        cache_entries=args.cache_entries,
+        backend=args.backend,
+    )
+    server = ReproServer(config, catalog=catalog, store=store)
+
+    async def _run() -> None:
+        host, port = await server.start()
+        tables = server.catalog.table_names()
+        print(f"repro serve listening on {host}:{port} "
+              f"(catalog: {tables or 'empty'}; "
+              f"max_in_flight={config.max_in_flight}, "
+              f"max_queue={config.max_queue})")
+        sys.stdout.flush()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    return 0
+
+
+def query_cmd(args) -> int:
+    import json as _json
+
+    from repro.serve import Client, ServeError
+
+    try:
+        with Client(args.host, args.port, timeout=args.timeout) as client:
+            if args.session_namespace is not None:
+                client.open_session(namespace=args.session_namespace)
+            outcome = client.sql(args.statement, execution=args.execution)
+    except ServeError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        for record in exc.attempts:
+            print(f"  attempt {record.get('attempt')}: "
+                  f"{record.get('error_type')}: {record.get('message')}",
+                  file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    for row in outcome.result.get("rows", []):
+        print(_json.dumps(row, sort_keys=True, default=str))
+    print(f"-- {outcome.result.get('rowcount', 0)} row(s), "
+          f"cache={outcome.cache}, fingerprint={outcome.fingerprint}",
+          file=sys.stderr)
     return 0
 
 
@@ -318,6 +430,64 @@ def main(argv=None) -> int:
     )
     gc_cmd.set_defaults(handler=ensemble_gc)
 
+    serve_parser = commands.add_parser(
+        "serve",
+        help="start the simulation service (async multi-client server)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=7411,
+        help="TCP port (0 picks a free one; default: 7411)",
+    )
+    serve_parser.add_argument(
+        "--demo-catalog", action="store_true",
+        help="serve the built-in demo tables (person, visit)",
+    )
+    serve_parser.add_argument(
+        "--csv", action="append", metavar="NAME=PATH",
+        help="load a CSV file as shared table NAME (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--store", default=None,
+        help="run-store directory for ensemble requests "
+        "(default: no persistent store)",
+    )
+    serve_parser.add_argument("--max-in-flight", type=int, default=4)
+    serve_parser.add_argument("--max-queue", type=int, default=32)
+    serve_parser.add_argument(
+        "--queue-timeout", type=float, default=None,
+        help="shed queued requests after this many seconds",
+    )
+    serve_parser.add_argument(
+        "--request-timeout", type=float, default=None,
+        help="per-attempt execution timeout in seconds",
+    )
+    serve_parser.add_argument("--cache-entries", type=int, default=256)
+    serve_parser.add_argument(
+        "--backend", default=None,
+        help="execution backend for mcdb/ensemble fan-out: serial, "
+        "thread, or process (default: the REPRO_BACKEND environment "
+        "variable)",
+    )
+    serve_parser.set_defaults(handler=serve_cmd)
+
+    query_parser = commands.add_parser(
+        "query", help="one-shot SQL query against a running serve instance"
+    )
+    query_parser.add_argument("statement", help="SQL statement to execute")
+    query_parser.add_argument("--host", default="127.0.0.1")
+    query_parser.add_argument("--port", type=int, default=7411)
+    query_parser.add_argument(
+        "--execution", default=None, choices=("auto", "row", "columnar"),
+    )
+    query_parser.add_argument(
+        "--session-namespace", type=int, default=None,
+        help="open a private session with this seed namespace first "
+        "(needed for DDL/DML; the public scope is read-only)",
+    )
+    query_parser.add_argument("--timeout", type=float, default=60.0)
+    query_parser.set_defaults(handler=query_cmd)
+
     args = parser.parse_args(argv)
     if args.command == "obs-report":
         from repro.obs.report import run_report
@@ -326,7 +496,7 @@ def main(argv=None) -> int:
             out_dir=args.out_dir, backend=args.backend, quick=args.quick
         )
         return 0
-    if args.command == "ensemble":
+    if args.command in ("ensemble", "serve", "query"):
         return args.handler(args)
     return tour()
 

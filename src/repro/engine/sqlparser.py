@@ -712,13 +712,16 @@ def parse_select(sql: str) -> lp.PlanNode:
     return plan
 
 
-def execute_sql(db, sql: str, execution=None, morsel_size=None):
-    """Parse and execute one SQL statement against ``db``.
+def parse_statement(sql: str):
+    """Parse one complete SQL statement without executing it.
 
-    ``db`` is a :class:`repro.engine.catalog.Database`.  Returns the result
-    rows for SELECT, an empty list otherwise.  ``execution`` picks the
-    executor mode per plan and ``morsel_size`` enables morsel-parallel
-    columnar execution (see ``Database.execute_plan``).
+    Returns ``(kind, payload)`` exactly as the executing path sees it —
+    ``kind`` is one of ``select``, ``select_with_ctes``, ``create``,
+    ``create_as``, ``insert``, ``insert_select``, ``update``,
+    ``delete``, or ``drop``.  The service layer uses this to classify a
+    request (read vs write, which tables it touches) *before* admitting
+    it, so a malformed statement is rejected as a client error rather
+    than burning an execution slot and a retry budget.
     """
     parser = _Parser(sql)
     kind, payload = parser.parse_statement()
@@ -727,6 +730,80 @@ def execute_sql(db, sql: str, execution=None, morsel_size=None):
         raise QueryError(
             f"trailing tokens after statement: {parser.peek().text!r}"
         )
+    return kind, payload
+
+
+def _plan_tables(plan) -> set:
+    """Base-table names a plan scans, subquery plans included."""
+    tables = set()
+    for node in lp.walk(plan):
+        if isinstance(node, lp.Scan):
+            tables.add(node.table)
+
+    def collect_subquery(expr):
+        from repro.engine.expressions import InSubquery
+
+        if isinstance(expr, InSubquery):
+            tables.update(_plan_tables(expr.plan))
+        return None
+
+    from repro.engine.expressions import transform_expression
+
+    lp.map_expressions(
+        plan, lambda e: transform_expression(e, collect_subquery)
+    )
+    return tables
+
+
+def statement_tables(kind: str, payload):
+    """The ``(reads, writes)`` table-name sets of a parsed statement.
+
+    ``reads`` are catalog tables the statement scans (CTE names are
+    resolved away — a ``WITH`` alias is not a catalog read); ``writes``
+    are tables it creates, mutates, or drops.  Cache keys for served
+    queries fold the versions of every read table, and session scoping
+    forbids writes to the shared catalog, so both sides of the service
+    layer consume this classification.
+    """
+    reads: set = set()
+    writes: set = set()
+    if kind == "select":
+        reads = _plan_tables(payload)
+    elif kind == "select_with_ctes":
+        ctes, main = payload
+        cte_names = {name for name, _, _ in ctes}
+        for _, _, plan in ctes:
+            reads |= _plan_tables(plan)
+        reads |= _plan_tables(main)
+        reads -= cte_names
+    elif kind in ("create", "insert"):
+        writes = {payload[0]}
+    elif kind == "create_as":
+        name, plan = payload
+        writes = {name}
+        reads = _plan_tables(plan)
+    elif kind == "insert_select":
+        name, _, plan = payload
+        writes = {name}
+        reads = _plan_tables(plan)
+    elif kind in ("update", "delete"):
+        writes = {payload[0]}
+    elif kind == "drop":
+        writes = {payload}
+    else:  # pragma: no cover - parse_statement never returns other kinds
+        raise QueryError(f"unhandled statement kind {kind!r}")
+    return reads, writes
+
+
+def execute_sql(db, sql: str, execution=None, morsel_size=None):
+    """Parse and execute one SQL statement against ``db``.
+
+    ``db`` is a :class:`repro.engine.catalog.Database`.  Returns the result
+    rows for SELECT, an empty list otherwise.  ``execution`` picks the
+    executor mode per plan and ``morsel_size`` enables morsel-parallel
+    columnar execution (see ``Database.execute_plan``).
+    """
+    kind, payload = parse_statement(sql)
 
     if kind == "select":
         return db.execute_plan(payload, execution=execution, morsel_size=morsel_size)

@@ -38,6 +38,7 @@ import hashlib
 import json
 import os
 import shutil
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -202,16 +203,25 @@ class StoreEntry:
 class RunStore:
     """Content-addressed result cache rooted at a directory.
 
-    Thread-safe for the scheduler's driver-side access pattern (all
-    reads/writes happen on the driver); multi-process safe for
-    concurrent *writers* of the same key because entries are immutable
-    and renames are atomic — the first rename wins and later stagings
-    of the identical content are discarded.
+    Thread-safe within one process: the serve layer hands a single
+    store to every session, so ``get``/``put``/``evict`` from
+    concurrent worker threads interleave freely.  Entry *content* is
+    already safe by construction (entries are immutable and committed
+    with one atomic rename — the first rename wins and later stagings
+    of identical content are discarded, which also makes concurrent
+    same-key writers from separate processes safe), but the in-process
+    paths share mutable state: :class:`StoreStats` increments are
+    read-modify-write, and a reader that has opened ``run.json`` can
+    lose ``arrays.npz`` to a concurrent ``evict``/``gc`` mid-read.  An
+    internal re-entrant lock therefore serializes the read path, the
+    stage-and-rename commit, and eviction; result encoding and array
+    staging (the expensive parts of ``put``) happen outside the lock.
     """
 
     def __init__(self, root: os.PathLike) -> None:
         self.root = os.fspath(root)
         self.stats = StoreStats()
+        self._lock = threading.RLock()
         os.makedirs(self._objects_dir(), exist_ok=True)
         os.makedirs(self.checkpoint_dir(), exist_ok=True)
         os.makedirs(self._scratch_dir(), exist_ok=True)
@@ -245,25 +255,26 @@ class RunStore:
         """The stored result for ``key``, or ``None`` on a miss."""
         entry_dir = self._entry_dir(key)
         run_path = os.path.join(entry_dir, "run.json")
-        try:
-            with open(run_path, "r", encoding="utf-8") as handle:
-                document = json.load(handle)
-        except FileNotFoundError:
-            self.stats.misses += 1
-            get_observer().counter("ensemble.store.misses").inc()
-            return None
-        if document.get("schema") != STORE_SCHEMA_VERSION:
-            # Unreachable via run_key addressing; guards hand-made keys.
-            self.stats.misses += 1
-            get_observer().counter("ensemble.store.misses").inc()
-            return None
-        arrays: Dict[str, np.ndarray] = {}
-        npz_path = os.path.join(entry_dir, "arrays.npz")
-        if os.path.exists(npz_path):
-            with np.load(npz_path) as payload:
-                arrays = {name: payload[name] for name in payload.files}
-        self.stats.hits += 1
-        get_observer().counter("ensemble.store.hits").inc()
+        with self._lock:
+            try:
+                with open(run_path, "r", encoding="utf-8") as handle:
+                    document = json.load(handle)
+            except FileNotFoundError:
+                self.stats.misses += 1
+                get_observer().counter("ensemble.store.misses").inc()
+                return None
+            if document.get("schema") != STORE_SCHEMA_VERSION:
+                # Unreachable via run_key addressing; guards hand-made keys.
+                self.stats.misses += 1
+                get_observer().counter("ensemble.store.misses").inc()
+                return None
+            arrays: Dict[str, np.ndarray] = {}
+            npz_path = os.path.join(entry_dir, "arrays.npz")
+            if os.path.exists(npz_path):
+                with np.load(npz_path) as payload:
+                    arrays = {name: payload[name] for name in payload.files}
+            self.stats.hits += 1
+            get_observer().counter("ensemble.store.hits").inc()
         return decode_result(document["result"], arrays)
 
     # -- write path ----------------------------------------------------------
@@ -292,10 +303,14 @@ class RunStore:
             "result": tree,
         }
         stage = os.path.join(
-            self._scratch_dir(), f"{key}.{os.getpid()}.{time.monotonic_ns()}"
+            self._scratch_dir(),
+            f"{key}.{os.getpid()}.{threading.get_ident()}"
+            f".{time.monotonic_ns()}",
         )
         os.makedirs(stage)
         try:
+            # Staging happens lock-free: the scratch directory name is
+            # unique per thread, so concurrent writers never share it.
             if arrays:
                 with open(os.path.join(stage, "arrays.npz"), "wb") as handle:
                     np.savez(handle, **arrays)
@@ -303,18 +318,22 @@ class RunStore:
                 os.path.join(stage, "run.json"), "w", encoding="utf-8"
             ) as handle:
                 json.dump(document, handle, sort_keys=True, indent=1)
-            os.makedirs(os.path.dirname(entry_dir), exist_ok=True)
-            try:
-                os.rename(stage, entry_dir)
-            except OSError:
-                if not self.contains(key):
-                    raise
-                shutil.rmtree(stage, ignore_errors=True)
+            with self._lock:
+                os.makedirs(os.path.dirname(entry_dir), exist_ok=True)
+                try:
+                    os.rename(stage, entry_dir)
+                except OSError:
+                    # A same-key writer (thread or process) committed
+                    # first; entries are immutable and content-addressed,
+                    # so losing the race is harmless.
+                    if not self.contains(key):
+                        raise
+                    shutil.rmtree(stage, ignore_errors=True)
+                self.stats.puts += 1
+                get_observer().counter("ensemble.store.puts").inc()
         except Exception:
             shutil.rmtree(stage, ignore_errors=True)
             raise
-        self.stats.puts += 1
-        get_observer().counter("ensemble.store.puts").inc()
         return decode_result(tree, arrays)
 
     # -- maintenance ---------------------------------------------------------
@@ -361,14 +380,15 @@ class RunStore:
     def evict(self, key: str) -> bool:
         """Remove one entry (and its chain checkpoint, if any)."""
         entry_dir = self._entry_dir(key)
-        if not os.path.isdir(entry_dir):
-            return False
-        shutil.rmtree(entry_dir)
-        checkpoint = os.path.join(self.checkpoint_dir(), f"{key}.ckpt")
-        if os.path.exists(checkpoint):
-            os.unlink(checkpoint)
-        self.stats.evictions += 1
-        get_observer().counter("ensemble.store.evictions").inc()
+        with self._lock:
+            if not os.path.isdir(entry_dir):
+                return False
+            shutil.rmtree(entry_dir)
+            checkpoint = os.path.join(self.checkpoint_dir(), f"{key}.ckpt")
+            if os.path.exists(checkpoint):
+                os.unlink(checkpoint)
+            self.stats.evictions += 1
+            get_observer().counter("ensemble.store.evictions").inc()
         return True
 
     def gc(

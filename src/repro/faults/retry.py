@@ -39,6 +39,21 @@ class AttemptRecord(NamedTuple):
             f"({self.seconds:.3g}s)"
         )
 
+    def as_dict(self) -> dict:
+        """JSON-able form, used by protocol-level error responses.
+
+        The service layer attaches the full attempt history to a
+        terminal failure so a remote client can distinguish "my query
+        timed out twice then hit an injected fault" from a single hard
+        error without parsing rendered text.
+        """
+        return {
+            "attempt": self.attempt,
+            "error_type": self.error_type,
+            "message": self.message,
+            "seconds": self.seconds,
+        }
+
 
 class TaskTimeout(FaultError):
     """A task attempt exceeded the policy's per-task timeout.

@@ -1,0 +1,89 @@
+"""repro.serve — simulation-as-a-service over the repro stack.
+
+Section 5 of the paper frames the model-data ecosystem as a *service*
+problem: many analysts share one simulation/data substrate, and the
+system — not ad-hoc scripts — must arbitrate concurrency, isolate
+tenants, and avoid recomputing what any tenant already computed.  This
+subsystem is that layer for the repro engine:
+
+* :mod:`repro.serve.protocol` — newline-delimited canonical JSON with a
+  closed machine-readable error taxonomy and lossless numpy payloads;
+* :mod:`repro.serve.session` — per-client overlay catalogs and seed
+  namespaces (concurrent clients cannot observe each other's state);
+* :mod:`repro.serve.admission` — bounded deterministic-FIFO admission
+  control with explicit ``overloaded`` shedding;
+* :mod:`repro.serve.cache` — a result cache keyed like the ensemble
+  :class:`~repro.ensemble.store.RunStore` (statement + catalog/table
+  versions + effective seed) with single-flight dedup, so N identical
+  concurrent queries cost one execution and everyone receives
+  byte-identical bytes;
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` — the asyncio
+  :class:`ReproServer` exposing SQL, MCDB, and ensemble request
+  families, and the blocking :class:`Client`.
+
+Start a server (``python -m repro serve --demo-catalog``) and query it
+(``python -m repro query "SELECT ..."``), or embed both in one process::
+
+    from repro.serve import Client, ReproServer, ServeConfig, serve_in_thread
+
+    with serve_in_thread(ReproServer(ServeConfig())) as (host, port):
+        with Client(host, port) as client:
+            client.sql("SELECT 1 AS one")
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionStats
+from repro.serve.cache import CachedResult, CacheStats, ResultCache, request_key
+from repro.serve.client import Client, ClientResult
+from repro.serve.protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    BadRequest,
+    Forbidden,
+    Overloaded,
+    ServeError,
+    UnknownSession,
+    classify_exception,
+    decode_payload,
+    encode_payload,
+    fold_seed,
+)
+from repro.serve.server import (
+    ReproServer,
+    ServeConfig,
+    ServerStats,
+    build_demo_catalog,
+    load_csv_catalog,
+    serve_in_thread,
+)
+from repro.serve.session import Session, SessionDatabase, SessionManager
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "BadRequest",
+    "CacheStats",
+    "CachedResult",
+    "Client",
+    "ClientResult",
+    "ERROR_CODES",
+    "Forbidden",
+    "Overloaded",
+    "PROTOCOL_VERSION",
+    "ReproServer",
+    "ResultCache",
+    "ServeConfig",
+    "ServeError",
+    "ServerStats",
+    "Session",
+    "SessionDatabase",
+    "SessionManager",
+    "UnknownSession",
+    "build_demo_catalog",
+    "classify_exception",
+    "decode_payload",
+    "encode_payload",
+    "fold_seed",
+    "load_csv_catalog",
+    "request_key",
+    "serve_in_thread",
+]

@@ -1,0 +1,183 @@
+"""Admission control: bounded FIFO queueing with explicit load shedding.
+
+The server admits at most ``max_in_flight`` concurrent executions;
+excess requests wait in a bounded FIFO queue, and a request that would
+overflow the queue is rejected *immediately* with an ``overloaded``
+error — the server never queues unboundedly and never deadlocks,
+because no admitted request ever waits on another request's admission
+(slots transfer directly from a completing request to the oldest
+waiter).
+
+Ordering is deterministic: waiters are granted strictly in arrival
+order (a :class:`collections.deque` of loop futures), so under a fixed
+arrival order the execution order is a pure function of the
+configuration, not of scheduler whim.
+
+Everything here runs on the server's event-loop thread — the executor
+pool threads only ever *hold* a slot, acquired and released on the
+loop — so plain integers are safe without locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from repro.errors import SimulationError
+from repro.serve.protocol import Overloaded
+
+
+@dataclass
+class AdmissionStats:
+    """Cumulative accounting for one controller."""
+
+    admitted: int = 0
+    rejected: int = 0
+    queue_timeouts: int = 0
+    queue_peak: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "queue_timeouts": self.queue_timeouts,
+            "queue_peak": self.queue_peak,
+        }
+
+
+class AdmissionController:
+    """Bounded-concurrency gate with a FIFO wait queue.
+
+    Parameters
+    ----------
+    max_in_flight:
+        Concurrent executions allowed (executor pool width).
+    max_queue:
+        Requests allowed to wait beyond that; an arrival finding the
+        queue full is shed with :class:`Overloaded`.  ``0`` disables
+        queueing entirely (admit-or-reject).
+    queue_timeout:
+        Optional cap on queue-wait seconds; an expired waiter is
+        removed from the queue and shed with :class:`Overloaded`
+        (counted separately as a queue timeout).
+    """
+
+    def __init__(
+        self,
+        max_in_flight: int,
+        max_queue: int,
+        queue_timeout: Optional[float] = None,
+    ) -> None:
+        if max_in_flight < 1:
+            raise SimulationError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        if max_queue < 0:
+            raise SimulationError(f"max_queue must be >= 0, got {max_queue}")
+        if queue_timeout is not None and queue_timeout <= 0:
+            raise SimulationError(
+                f"queue_timeout must be > 0, got {queue_timeout}"
+            )
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self.stats = AdmissionStats()
+        self._in_flight = 0
+        self._waiters: Deque[asyncio.Future] = deque()
+
+    @property
+    def in_flight(self) -> int:
+        """Currently admitted executions."""
+        return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for a slot."""
+        return len(self._waiters)
+
+    async def acquire(self) -> float:
+        """Admit the caller, waiting FIFO if needed; returns queue-wait
+        seconds.  Raises :class:`Overloaded` when shed."""
+        if self._in_flight < self.max_in_flight and not self._waiters:
+            self._in_flight += 1
+            self.stats.admitted += 1
+            return 0.0
+        if len(self._waiters) >= self.max_queue:
+            self.stats.rejected += 1
+            raise Overloaded(
+                f"server overloaded: {self._in_flight} in flight, "
+                f"{len(self._waiters)}/{self.max_queue} queued"
+            )
+        loop = asyncio.get_running_loop()
+        waiter: asyncio.Future = loop.create_future()
+        self._waiters.append(waiter)
+        self.stats.queue_peak = max(self.stats.queue_peak, len(self._waiters))
+        started = time.perf_counter()
+        try:
+            if self.queue_timeout is None:
+                await waiter
+            else:
+                await asyncio.wait_for(waiter, self.queue_timeout)
+        except asyncio.TimeoutError:
+            if self._discard(waiter):
+                self.stats.queue_timeouts += 1
+                self.stats.rejected += 1
+                raise Overloaded(
+                    f"queue wait exceeded {self.queue_timeout:g}s "
+                    f"({len(self._waiters)} still queued)"
+                ) from None
+            # The slot was granted in the same tick the timeout fired;
+            # hand it straight to the next waiter instead of leaking it.
+            self.release()
+            self.stats.queue_timeouts += 1
+            self.stats.rejected += 1
+            raise Overloaded(
+                f"queue wait exceeded {self.queue_timeout:g}s"
+            ) from None
+        except asyncio.CancelledError:
+            # Connection dropped while queued: withdraw, or pass on a
+            # just-granted slot.
+            if not self._discard(waiter):
+                self.release()
+            raise
+        self.stats.admitted += 1
+        return time.perf_counter() - started
+
+    def _discard(self, waiter: asyncio.Future) -> bool:
+        """Remove a waiter if it is still queued; False if already granted."""
+        try:
+            self._waiters.remove(waiter)
+            return True
+        except ValueError:
+            return False
+
+    def release(self) -> None:
+        """Return a slot: hand it to the oldest live waiter, else free it.
+
+        The slot transfers without ever decrementing ``in_flight`` past
+        the handoff, so total concurrency can never exceed
+        ``max_in_flight`` even under grant/timeout races.
+        """
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+        if self._in_flight < 1:
+            raise SimulationError("release() without a matching acquire()")
+        self._in_flight -= 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """Stats plus instantaneous occupancy (the ``stats`` op body)."""
+        body = self.stats.as_dict()
+        body["in_flight"] = self._in_flight
+        body["queued"] = len(self._waiters)
+        body["max_in_flight"] = self.max_in_flight
+        body["max_queue"] = self.max_queue
+        return body
+
+
+__all__ = ["AdmissionController", "AdmissionStats"]

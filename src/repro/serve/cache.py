@@ -1,0 +1,185 @@
+"""Server-side result cache with single-flight deduplication.
+
+Requests are keyed exactly the way the ensemble :class:`~repro.ensemble.
+store.RunStore` keys runs — :func:`repro.ensemble.store.run_key` over a
+canonical-JSON description — so the cache inherits every property the
+run store already proved out: dict-order/numpy-type erasure, schema
+versioning, and Merkle-style upstream folding.  For a served request
+the "upstream" dependencies are the *catalog tables it reads*, each
+pinned as ``table:<name> -> <scope>:v<Table.version>``:
+
+* a shared table contributes ``shared:v<version>``, so any mutation of
+  shared data (server-side reloads) invalidates exactly the queries
+  that read it, and identical queries from *different* sessions hash to
+  the same key and coalesce;
+* a session table contributes ``<token>:e<epoch>:v<version>``, so
+  private state never leaks across sessions and a drop/recreate cycle
+  (which resets the fresh table's version counter to zero) still
+  changes the key via the session's catalog epoch.
+
+Deduplication is two-layered:
+
+* **done entries** (bounded LRU) serve repeat requests without
+  executing (``serve.cache.hit``);
+* **single-flight** in-flight futures coalesce *concurrent* identical
+  requests onto the one running execution (``serve.cache.coalesced``):
+  the first arrival registers a future and executes; later arrivals
+  await that future and receive the byte-identical payload.
+
+All methods run on the event-loop thread; worker threads never touch
+the cache directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.ensemble.store import run_key
+from repro.errors import SimulationError
+
+
+def request_key(
+    family: str,
+    params: Mapping[str, Any],
+    seed: int,
+    table_scopes: Mapping[str, str],
+) -> str:
+    """The content address of one cacheable request.
+
+    ``family`` names the request family (``sql``/``mcdb``/``ensemble``)
+    the way a run key names its scenario callable; ``params`` is the
+    canonicalized request body; ``seed`` is the *effective* (namespace-
+    folded) seed; ``table_scopes`` maps each read table to its scope
+    tag + version, standing where a run key's upstream Merkle fold
+    stands.
+    """
+    return run_key(
+        f"serve.{family}",
+        dict(params),
+        seed,
+        upstream={
+            f"table:{name}": tag for name, tag in table_scopes.items()
+        },
+    )
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One completed execution, as shared between coalesced clients."""
+
+    payload: Any  # JSON-able encoded result tree (protocol form)
+    fingerprint: Optional[str]
+
+
+@dataclass
+class CacheStats:
+    """Cumulative accounting, mirrored to ``serve.cache.*`` counters."""
+
+    hits: int = 0
+    coalesced: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "coalesced": self.coalesced,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class _Flight:
+    """One in-flight execution plus how many requests ride on it."""
+
+    future: asyncio.Future
+    riders: int = 0
+
+
+class ResultCache:
+    """Bounded LRU of completed results + single-flight coalescing."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise SimulationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._done: "OrderedDict[str, CachedResult]" = OrderedDict()
+        self._inflight: Dict[str, _Flight] = {}
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    async def fetch_or_begin(
+        self, key: str
+    ) -> Tuple[str, Optional[CachedResult]]:
+        """Resolve ``key`` against both cache layers.
+
+        Returns ``("hit", entry)`` for a completed entry,
+        ``("coalesced", entry)`` after riding an in-flight execution to
+        completion, or ``("miss", None)`` — in which case the caller
+        *must* finish the flight via :meth:`complete` or :meth:`fail`.
+        A coalesced rider re-raises the executor's exception, so every
+        client of a failed execution sees the same taxonomy error.
+        """
+        entry = self._done.get(key)
+        if entry is not None:
+            self._done.move_to_end(key)
+            self.stats.hits += 1
+            return "hit", entry
+        flight = self._inflight.get(key)
+        if flight is not None:
+            flight.riders += 1
+            self.stats.coalesced += 1
+            entry = await asyncio.shield(flight.future)
+            return "coalesced", entry
+        loop = asyncio.get_running_loop()
+        self._inflight[key] = _Flight(loop.create_future())
+        self.stats.misses += 1
+        return "miss", None
+
+    def complete(
+        self, key: str, entry: CachedResult, store: bool = True
+    ) -> None:
+        """Commit a finished execution: wake riders, store the entry.
+
+        ``store=False`` still hands the entry to every coalesced rider
+        (byte-identical responses) but keeps it out of the LRU — used
+        for results that are valid but not pure functions of their
+        request, e.g. partially failed ensembles.
+        """
+        flight = self._inflight.pop(key)
+        flight.future.set_result(entry)
+        if not store:
+            return
+        self._done[key] = entry
+        self._done.move_to_end(key)
+        while len(self._done) > self.max_entries:
+            self._done.popitem(last=False)
+            self.stats.evictions += 1
+
+    def fail(self, key: str, exc: BaseException) -> None:
+        """Propagate a failed execution to riders; cache nothing."""
+        flight = self._inflight.pop(key)
+        flight.future.set_exception(exc)
+        if not flight.riders:
+            # No rider will ever await this future; mark the exception
+            # retrieved so the loop does not log a spurious warning.
+            flight.future.exception()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Stats plus occupancy (the ``stats`` op body)."""
+        body = self.stats.as_dict()
+        body["entries"] = len(self._done)
+        body["inflight"] = len(self._inflight)
+        body["max_entries"] = self.max_entries
+        return body
+
+
+__all__ = ["CacheStats", "CachedResult", "ResultCache", "request_key"]

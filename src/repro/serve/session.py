@@ -1,0 +1,193 @@
+"""Session lifecycle and isolation for the simulation service.
+
+A session is the unit of client-visible state: an overlay catalog
+(:class:`SessionDatabase`) where the client's DDL/DML lands, plus a
+seed namespace folded into every stochastic request.  Two properties
+make concurrent clients unable to observe each other:
+
+* **catalog isolation** — a session's tables live only in its overlay;
+  name resolution checks the overlay first, then falls back to the
+  shared base catalog, which the protocol keeps read-only.  A session
+  table may shadow a shared name without touching it.
+* **seed isolation** — a session opened with a nonzero seed namespace
+  folds it into every request seed (:func:`repro.serve.protocol.
+  fold_seed`), so its stochastic streams are disjoint from every other
+  namespace.  The default namespace 0 is the identity, which is what
+  lets un-namespaced clients issuing identical requests share one
+  execution and one cache entry.
+
+Sessions are bookkeeping, not authentication: tokens are predictable
+(``s000001`` ...) by design so traces and tests are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.engine.catalog import Database
+from repro.engine.statistics import TableStatistics
+from repro.engine.table import Table
+from repro.errors import CatalogError
+from repro.serve.protocol import UnknownSession
+
+#: Token of the implicit public session (read-only, namespace 0).
+PUBLIC_TOKEN = ""
+
+
+class SessionDatabase(Database):
+    """A per-session overlay catalog over a shared base database.
+
+    Local tables (created via the session) resolve first; unknown names
+    fall back to the base catalog.  All mutation entry points operate
+    on the overlay only — the base is reachable exclusively through
+    read paths, so a session can never alter shared state.  Each
+    catalog mutation bumps :attr:`scope_epoch`, which cache keys fold
+    in alongside ``Table.version`` so a dropped-and-recreated session
+    table can never alias a stale cache entry (a fresh table restarts
+    its version counter at zero).
+    """
+
+    def __init__(self, base: Database) -> None:
+        super().__init__()
+        self._base = base
+        self.scope_epoch = 0
+
+    # -- resolution: overlay first, then the shared base ---------------------
+    def table(self, name: str) -> Table:
+        if name in self._tables:
+            return self._tables[name]
+        try:
+            return self._base.table(name)
+        except CatalogError:
+            raise CatalogError(
+                f"unknown table {name!r}; session catalog has "
+                f"{sorted(self._tables)}, shared catalog has "
+                f"{self._base.table_names()}"
+            ) from None
+
+    def resolve_table(self, name: str) -> Table:
+        if name in self._tables:
+            return self._tables[name]
+        return self._base.resolve_table(name)
+
+    def table_names(self) -> List[str]:
+        return sorted(set(self._tables) | set(self._base.table_names()))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables or name in self._base
+
+    def statistics(self, name: str) -> Optional[TableStatistics]:
+        local = super().statistics(name)
+        if local is not None or name in self._tables:
+            return local
+        return self._base.statistics(name)
+
+    # -- scope bookkeeping ----------------------------------------------------
+    def is_session_table(self, name: str) -> bool:
+        """Whether ``name`` resolves to the session overlay."""
+        return name in self._tables
+
+    def session_table_names(self) -> List[str]:
+        """Names of overlay tables only (``ls`` output, scope tags)."""
+        return sorted(self._tables)
+
+    # -- mutation: overlay only, epoch-bumped ---------------------------------
+    def create_table(self, name, schema, rows=None, replace=False) -> Table:
+        table = super().create_table(name, schema, rows, replace)
+        self.scope_epoch += 1
+        return table
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        super().register(table, replace)
+        self.scope_epoch += 1
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            # The base may know the name, but a session cannot drop
+            # shared state; the protocol layer turns this into a
+            # ``forbidden`` response before execution ever starts.
+            raise CatalogError(
+                f"cannot drop {name!r}: not a session-scope table"
+            )
+        super().drop_table(name)
+        self.scope_epoch += 1
+
+
+class Session:
+    """One open client session."""
+
+    def __init__(self, token: str, base: Database, namespace: int = 0) -> None:
+        self.token = token
+        self.namespace = int(namespace)
+        self.db = SessionDatabase(base)
+        self.requests = 0
+
+    @property
+    def writable(self) -> bool:
+        """The public scope is read-only; opened sessions may write."""
+        return self.token != PUBLIC_TOKEN
+
+    def table_scope_tag(self, name: str) -> str:
+        """The cache-key scope tag for one referenced table.
+
+        Shared tables tag as ``shared`` so identical queries from any
+        session coalesce; session tables tag with the session token and
+        the catalog epoch so private state never crosses sessions and
+        never aliases across drop/recreate cycles.
+        """
+        if self.db.is_session_table(name):
+            return f"{self.token}:e{self.db.scope_epoch}"
+        return "shared"
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-able session summary (the ``open`` response body)."""
+        return {
+            "session": self.token,
+            "namespace": self.namespace,
+            "tables": self.db.session_table_names(),
+            "requests": self.requests,
+        }
+
+
+class SessionManager:
+    """Open/close bookkeeping plus token resolution.
+
+    All methods run on the server's event-loop thread, so plain dict
+    state suffices; worker threads only ever touch the (already
+    resolved) :class:`Session` object handed to them.
+    """
+
+    def __init__(self, base: Database) -> None:
+        self._base = base
+        self._sessions: Dict[str, Session] = {}
+        self._opened = 0
+        self.public = Session(PUBLIC_TOKEN, base, namespace=0)
+
+    def open(self, namespace: int = 0) -> Session:
+        self._opened += 1
+        token = f"s{self._opened:06d}"
+        session = Session(token, self._base, namespace=namespace)
+        self._sessions[token] = session
+        return session
+
+    def get(self, token: Optional[str]) -> Session:
+        if token is None or token == PUBLIC_TOKEN:
+            return self.public
+        try:
+            return self._sessions[token]
+        except KeyError:
+            raise UnknownSession(str(token)) from None
+
+    def close(self, token: str) -> bool:
+        return self._sessions.pop(token, None) is not None
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+
+__all__ = [
+    "PUBLIC_TOKEN",
+    "Session",
+    "SessionDatabase",
+    "SessionManager",
+]

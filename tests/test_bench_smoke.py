@@ -31,6 +31,7 @@ from benchmarks.bench_mcdb_tuple_bundles import (
 from benchmarks.bench_parallel_backends import (
     run_experiment as run_parallel_experiment,
 )
+from benchmarks.bench_serve import run_experiment as run_serve_experiment
 
 pytestmark = pytest.mark.bench_smoke
 
@@ -84,6 +85,18 @@ def test_quick_ensemble_reuse():
     assert len(rows) == 2
     assert all(row[-1] == 0 for row in rows)
     assert all(reuse_ok.values())
+
+
+def test_quick_serve():
+    rows, dedupe, shed = run_serve_experiment(QUICK)
+    # Three workloads; identical concurrent requests cost exactly one
+    # execution with byte-identical responses, and a burst against a
+    # tiny server resolves every request (answered or explicitly shed).
+    assert len(rows) == 3
+    assert dedupe["executions"] == 1
+    assert dedupe["byte_identical"]
+    assert dedupe["dedupe_ratio"] > 0
+    assert shed["all_resolved"]
 
 
 def test_bench_config_env_roundtrip(monkeypatch):

@@ -19,10 +19,12 @@ def test_tour_runs_and_mentions_every_layer():
     assert result.returncode == 0, result.stderr
     out = result.stdout
     for marker in (
-        "[mcdb]", "[indemics]", "[assimilate]", "[caching]", "[ensemble]"
+        "[mcdb]", "[indemics]", "[assimilate]", "[caching]", "[ensemble]",
+        "[serve]",
     ):
         assert marker in out
     assert "alpha*" in out
+    assert "byte-identical: True" in out
 
 
 def test_tour_exits_nonzero_when_a_stage_raises(capsys):
