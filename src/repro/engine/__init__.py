@@ -34,6 +34,12 @@ from repro.engine.operators import (
     Executor,
     provider_from,
 )
+from repro.engine.partition import (
+    PARTITION_SCOPE,
+    PartitionRun,
+    PartitionedMorselExecutor,
+    PartitionedTable,
+)
 from repro.engine.optimizer import (
     EXECUTION_ENV_VAR,
     choose_execution,
@@ -60,6 +66,10 @@ __all__ = [
     "Executor",
     "MORSEL_ENV_VAR",
     "MorselExecutor",
+    "PARTITION_SCOPE",
+    "PartitionRun",
+    "PartitionedMorselExecutor",
+    "PartitionedTable",
     "choose_execution",
     "resolve_execution_mode",
     "resolve_morsel_size",

@@ -38,6 +38,7 @@ class Database(TableProvider):
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._statistics: Dict[str, TableStatistics] = {}
+        self._partitionings: Dict[str, "PartitionedTable"] = {}
         self.metrics = ExecutionMetrics()
 
     # -- catalog management ----------------------------------------------
@@ -54,6 +55,7 @@ class Database(TableProvider):
         table = Table(name, schema, rows)
         self._tables[name] = table
         self._statistics.pop(name, None)
+        self._partitionings.pop(name, None)
         return table
 
     def register(self, table: Table, replace: bool = False) -> None:
@@ -62,6 +64,7 @@ class Database(TableProvider):
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[table.name] = table
         self._statistics.pop(table.name, None)
+        self._partitionings.pop(table.name, None)
 
     def drop_table(self, name: str) -> None:
         """Remove a table from the catalog."""
@@ -69,6 +72,42 @@ class Database(TableProvider):
             raise CatalogError(f"cannot drop unknown table {name!r}")
         del self._tables[name]
         self._statistics.pop(name, None)
+        self._partitionings.pop(name, None)
+
+    # -- partitioning -----------------------------------------------------
+    def partition_table(
+        self,
+        name: str,
+        key: str,
+        partitions: int,
+        scheme: str = "hash",
+    ) -> "PartitionedTable":
+        """Register a key-partitioning for ``name`` (sharded data plane).
+
+        Queries whose plans scan the table through the columnar engine
+        then run fused chains and aggregates partition-parallel (one
+        morsel stream per partition) via
+        :class:`~repro.engine.partition.PartitionedMorselExecutor`,
+        byte-identical to the unpartitioned plan.  Re-partitioning a
+        table replaces its previous partitioning; position arrays are
+        rebuilt automatically when the table mutates.
+        """
+        from repro.engine.partition import PartitionedTable
+
+        parted = PartitionedTable(self.table(name), key, partitions, scheme)
+        self._partitionings[name] = parted
+        return parted
+
+    def unpartition_table(self, name: str) -> None:
+        """Drop the partitioning of ``name`` (a no-op if none exists)."""
+        self._partitionings.pop(name, None)
+
+    def partitioning(self, name: str) -> Optional["PartitionedTable"]:
+        """The current partitioning of ``name`` (refreshed), or ``None``."""
+        parted = self._partitionings.get(name)
+        if parted is None:
+            return None
+        return parted.refresh()
 
     def table(self, name: str) -> Table:
         """Look up a table by name."""
@@ -129,15 +168,30 @@ class Database(TableProvider):
         ``REPRO_ENGINE_MORSEL``; unset keeps the legacy executors).
         """
         from repro.engine.morsel import MorselExecutor, resolve_morsel_size
+        from repro.engine.partition import PartitionedMorselExecutor
 
         plan = self._materialize_subqueries(plan, morsel_size=morsel_size)
         if optimized:
             plan = self.optimize_plan(plan)
         size = resolve_morsel_size(morsel_size)
-        mode = choose_execution(plan, execution, morsel=size is not None)
+        partitioned = self._partitionings and any(
+            isinstance(node, lp.Scan) and node.table in self._partitionings
+            for node in lp.walk(plan)
+        )
+        mode = choose_execution(
+            plan, execution, morsel=size is not None or bool(partitioned)
+        )
         if mode == "columnar":
-            if size is not None:
-                executor: Executor = MorselExecutor(
+            if partitioned:
+                # Partition-aware morsel execution: fused chains and
+                # aggregates over partitioned scans run one morsel
+                # stream per partition, byte-identical to the
+                # unpartitioned executors.
+                executor: Executor = PartitionedMorselExecutor(
+                    self, self.metrics, morsel_size=size
+                )
+            elif size is not None:
+                executor = MorselExecutor(
                     self, self.metrics, morsel_size=size
                 )
             else:

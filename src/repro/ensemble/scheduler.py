@@ -25,7 +25,6 @@ itself, per-node timers, and an ``ensemble.run`` span.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple, Union
 
@@ -37,6 +36,7 @@ from repro.ensemble.store import (
     run_key,
 )
 from repro.errors import SimulationError
+from repro.exec.substrate import IsolatedCall, Substrate
 from repro.faults.plan import FaultPlan, get_fault_plan
 from repro.faults.retry import (
     DEFAULT_RETRY_POLICY,
@@ -44,10 +44,9 @@ from repro.faults.retry import (
     RetryPolicy,
     RetryStats,
     TaskFailed,
-    run_with_retry,
 )
 from repro.obs import get_observer
-from repro.parallel.backend import Backend, get_backend
+from repro.parallel.backend import Backend
 
 #: Fault-plan scope under which every ensemble node executes; the task
 #: index is the node's global position in topological order.
@@ -113,33 +112,25 @@ def _invoke_scenario(payload: _NodePayload) -> Any:
         _context.value = None
 
 
-def _execute_node(
-    payload: _NodePayload,
-) -> Tuple[str, Any, RetryStats, float]:
-    """Run one node to a terminal state; never raises.
+def _node_call(payload: _NodePayload) -> IsolatedCall:
+    """The substrate call that runs one node to a terminal state.
 
-    Returns ``(status, value, retry_stats, seconds)`` where status is
-    ``"ok"`` (value = result) or ``"failed"`` (value = the terminal
-    :class:`TaskFailed`, attempt history included).  Catching the
-    failure here — instead of letting it propagate through the backend —
-    is what turns a dead node into a report rather than a crashed
-    ensemble.
+    :func:`repro.exec.substrate.run_isolated` executes the call under
+    ``run_with_retry`` inside the worker and returns a
+    :class:`~repro.exec.substrate.TaskOutcome` instead of raising —
+    which is what turns a dead node into a report rather than a crashed
+    ensemble.  The fault index is the node's *global topological index*,
+    so ``REPRO_FAULTS=at=ensemble.node:<i>`` targets the same node on
+    every backend and wave packing.
     """
-    stats = RetryStats()
-    start = time.perf_counter()
-    try:
-        result = run_with_retry(
-            _invoke_scenario,
-            payload,
-            scope=NODE_SCOPE,
-            index=payload.index,
-            policy=payload.policy,
-            plan=payload.plan,
-            stats=stats,
-        )
-    except TaskFailed as failure:
-        return "failed", failure, stats, time.perf_counter() - start
-    return "ok", result, stats, time.perf_counter() - start
+    return IsolatedCall(
+        fn=_invoke_scenario,
+        item=payload,
+        scope=NODE_SCOPE,
+        index=payload.index,
+        policy=payload.policy,
+        plan=payload.plan,
+    )
 
 
 # -- reports ----------------------------------------------------------------
@@ -294,7 +285,7 @@ def run_ensemble(
     policy = retry if retry is not None else (
         DEFAULT_RETRY_POLICY if plan is not None else NO_RETRY
     )
-    backend = get_backend(backend)
+    substrate = Substrate(backend)
     observer = get_observer()
     keys = compute_run_keys(ensemble)
     indices = {
@@ -349,8 +340,9 @@ def run_ensemble(
                 )
             if not pending:
                 continue
-            resolved = backend.map(
-                _execute_node, pending, scope="ensemble.dispatch"
+            resolved = substrate.dispatch_isolated(
+                [_node_call(payload) for payload in pending],
+                scope="ensemble.dispatch",
             )
             node_timer = observer.timer("ensemble.node_seconds")
             for payload, (status, value, stats, seconds) in zip(

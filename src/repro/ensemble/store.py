@@ -396,16 +396,22 @@ class RunStore:
         max_age_seconds: Optional[float] = None,
         max_total_bytes: Optional[int] = None,
         now: Optional[float] = None,
+        scratch_age_seconds: float = 300.0,
     ) -> List[str]:
         """Evict entries by age and/or total size; returns evicted keys.
 
         Age eviction removes every entry older than ``max_age_seconds``;
         size eviction then removes *oldest-first* until the store fits
         in ``max_total_bytes``.  Scratch debris from crashed ``put``
-        calls is always removed.  With neither bound set, only debris is
-        collected.
+        calls is swept once it is older than ``scratch_age_seconds`` —
+        the age gate is what makes ``gc`` safe to run concurrently with
+        ``put``, whose staging directory lives in the same scratch space
+        until the atomic rename (an unconditional sweep used to delete
+        an in-flight put's staging files out from under it).  With
+        neither bound set, only stale debris is collected.
         """
-        now = time.time() if now is None else now
+        wall = time.time()
+        now = wall if now is None else now
         evicted: List[str] = []
         entries = self.ls()
         if max_age_seconds is not None:
@@ -425,9 +431,16 @@ class RunStore:
         scratch = self._scratch_dir()
         if os.path.isdir(scratch):
             for debris in os.listdir(scratch):
-                shutil.rmtree(
-                    os.path.join(scratch, debris), ignore_errors=True
-                )
+                path = os.path.join(scratch, debris)
+                try:
+                    # Age against the real clock, not the caller-injected
+                    # ``now``: staging mtimes are real timestamps, so a
+                    # test pinning ``now`` must not nuke live stages.
+                    age = wall - os.path.getmtime(path)
+                except OSError:
+                    continue  # renamed or removed by a concurrent put
+                if age > scratch_age_seconds:
+                    shutil.rmtree(path, ignore_errors=True)
         return evicted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,30 @@
+"""repro.exec — the unified execution substrate.
+
+One submit/retry/collect API (:class:`Substrate`) shared by mapreduce,
+MCDB, the sharded particle filter, and the ensemble scheduler, plus the
+canonical key hashing (:mod:`repro.exec.keys`) shared by the mapreduce
+shuffle and the engine's partitioned tables.
+"""
+
+from repro.exec.keys import canonical_key_bytes, partition_index
+from repro.exec.substrate import (
+    IsolatedCall,
+    Substrate,
+    TaskOutcome,
+    crc32_rng,
+    run_isolated,
+    spawned_rng,
+    split_failures,
+)
+
+__all__ = [
+    "IsolatedCall",
+    "Substrate",
+    "TaskOutcome",
+    "canonical_key_bytes",
+    "crc32_rng",
+    "partition_index",
+    "run_isolated",
+    "spawned_rng",
+    "split_failures",
+]

@@ -1,0 +1,71 @@
+"""Canonical key hashing shared by every partitioning surface.
+
+Partition assignment must be a *pure function of the key* — the same
+key must land on the same partition no matter which task emitted it,
+which process hashed it, or how the key happened to be spelled.  Python
+equality is coarser than ``repr``: ``1 == 1.0 == True`` yet their reprs
+differ, so hashing ``repr(key)`` directly makes the assignment depend
+on the first-emitted spelling (the mapreduce shuffle memoizes partition
+indices by dict equality, so ``1`` and ``1.0`` were racing for whichever
+index the first one hashed to).
+
+:func:`canonical_key_bytes` collapses equality-equal numerics to one
+spelling before hashing: bools and integral-valued floats hash like the
+equal ``int``, non-integral floats like ``float``; strings, bytes and
+everything else keep their ``repr`` (so existing string-keyed partition
+assignments — the overwhelmingly common case — do not move).  Both the
+mapreduce shuffle and the engine's :class:`PartitionedTable` hash
+through here, so a key crosses subsystem boundaries without changing
+partitions.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+__all__ = ["canonical_key_bytes", "partition_index"]
+
+
+def canonical_key_bytes(key: Any) -> bytes:
+    """Stable bytes for hashing, equal for equality-equal numeric keys.
+
+    ``1``, ``1.0``, ``True`` and ``numpy.int64(1)`` all canonicalize to
+    ``b"1"``; ``1.5`` and ``numpy.float64(1.5)`` to ``b"1.5"``.  Tuples
+    canonicalize element-wise.  Everything else (strings most commonly)
+    keeps ``repr(key)``, preserving pre-existing assignments.
+    """
+    if isinstance(key, bool):
+        # bool is an int subclass; fall through to the integer spelling.
+        return repr(int(key)).encode("utf-8")
+    if isinstance(key, int):
+        # int(key) also normalizes int subclasses (e.g. numpy.int_ on
+        # platforms where it subclasses int) to the plain spelling.
+        return repr(int(key)).encode("utf-8")
+    if isinstance(key, float):
+        if key.is_integer():
+            return repr(int(key)).encode("utf-8")
+        # float(key) normalizes float subclasses — numpy.float64 IS a
+        # float subclass, and its repr is "np.float64(1.5)", not "1.5".
+        return repr(float(key)).encode("utf-8")
+    # NumPy scalars (and any other numeric duck types) expose __index__
+    # or can be detected via their item() round-trip; keep this cheap by
+    # probing the abstract numeric protocol without importing numpy.
+    item = getattr(key, "item", None)
+    if item is not None and type(key).__module__ == "numpy":
+        value = key.item()
+        if isinstance(value, (bool, int, float)):
+            return canonical_key_bytes(value)
+    if isinstance(key, tuple):
+        return b"(" + b",".join(canonical_key_bytes(k) for k in key) + b")"
+    return repr(key).encode("utf-8")
+
+
+def partition_index(key: Any, num_partitions: int) -> int:
+    """Deterministic key-to-partition assignment.
+
+    CRC-32 over the canonical key bytes: stable across processes (no
+    hash randomization), a single C-speed pass, and invariant under
+    equality-equal respellings of numeric keys.
+    """
+    return zlib.crc32(canonical_key_bytes(key)) % num_partitions

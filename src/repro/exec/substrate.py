@@ -1,0 +1,262 @@
+"""The unified execution substrate: submit / retry / collect.
+
+Every fan-out subsystem in this repository follows the same drill: spawn
+a deterministic per-task seed, submit picklable tasks to a
+:mod:`repro.parallel` backend under a named fault scope, retry failures
+per :mod:`repro.faults`, collect results in task order, and absorb the
+recovery accounting into subsystem counters at the driver.  Before this
+module, mapreduce, MCDB, the sharded particle filter, and the ensemble
+scheduler each hand-rolled that drill with small drift between copies.
+
+:class:`Substrate` is the one shared implementation.  It deliberately
+adds **nothing** on top of :meth:`repro.parallel.backend.Backend.map`
+semantics — scopes, retry resolution, fault-plan defaults, ordering, and
+chunking are exactly the backend's, so porting a subsystem onto the
+substrate is byte-identical by construction.  What it centralizes:
+
+* ``submit`` / ``submit_with_stats`` — ordered fan-out with fault
+  scopes and driver-side :class:`~repro.faults.retry.RetryStats`;
+* :class:`IsolatedCall` + :func:`run_isolated` — the run-to-terminal-
+  state-inside-the-worker pattern (the ensemble scheduler's node
+  dispatch), where each task carries its own scope/index/policy and a
+  failure becomes a reported outcome instead of a crashed fan-out;
+* :func:`split_failures` — the degrade-mode pattern (the particle
+  filter's dead-shard drop) for ``on_error="collect"`` fan-outs;
+* seed spawning helpers wrapping the repo's two stream conventions
+  (``SeedSequence(entropy, spawn_key=(i,))`` and CRC-32-named streams)
+  so ported subsystems keep their exact historical streams.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import (
+    RetryPolicy,
+    RetryStats,
+    TaskFailed,
+    run_with_retry,
+)
+from repro.parallel.backend import Backend, get_backend
+from repro.stats.rng import RandomStreamFactory, task_seed_sequences
+
+__all__ = [
+    "IsolatedCall",
+    "Substrate",
+    "TaskOutcome",
+    "crc32_rng",
+    "run_isolated",
+    "spawned_rng",
+    "split_failures",
+]
+
+
+# -- seed spawning -----------------------------------------------------------
+
+def spawned_rng(seed: int, index: int) -> np.random.Generator:
+    """The repo's per-task stream convention: ``spawn_key=(index,)``.
+
+    This is the exact derivation MCDB iterations have always used, so a
+    substrate-ported caller draws byte-identical samples.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(index,))
+    )
+
+
+def crc32_rng(seed: int, name: str) -> np.random.Generator:
+    """A dedicated named stream: ``spawn_key=(crc32(name),)``.
+
+    Builtin ``hash`` is randomized per process; CRC-32 of the name is
+    stable everywhere, which is what keeps per-table bundle streams
+    (``mcdb.instantiate_bundles``) identical across backends.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=seed, spawn_key=(zlib.crc32(name.encode("utf-8")),)
+        )
+    )
+
+
+# -- isolated (run-to-terminal-state) tasks ---------------------------------
+
+class IsolatedCall(NamedTuple):
+    """One task that must reach a terminal state inside the worker.
+
+    ``fn``/``item`` are the work; ``scope``/``index`` key fault
+    injection (``index`` is the caller's global task index — e.g. the
+    ensemble's topological node index — NOT the position within one
+    dispatch wave, so ``REPRO_FAULTS=at=<scope>:<i>`` targets the same
+    logical task regardless of wave packing); ``policy``/``plan`` govern
+    retries.  All fields must pickle for the process backend.
+    """
+
+    fn: Callable[[Any], Any]
+    item: Any
+    scope: str
+    index: int
+    policy: RetryPolicy
+    plan: Optional[FaultPlan]
+
+
+class TaskOutcome(NamedTuple):
+    """Terminal record of one isolated task (never an exception)."""
+
+    status: str  # "ok" | "failed"
+    value: Any  # result, or the terminal TaskFailed
+    stats: RetryStats
+    seconds: float
+
+
+def run_isolated(call: IsolatedCall) -> TaskOutcome:
+    """Run one :class:`IsolatedCall` to a terminal state; never raises.
+
+    Module-level so it pickles for the process backend.  Catching the
+    terminal :class:`TaskFailed` here — instead of letting it propagate
+    through the backend — is what turns a dead task into a report the
+    driver can absorb rather than a crashed fan-out.
+    """
+    stats = RetryStats()
+    start = time.perf_counter()
+    try:
+        result = run_with_retry(
+            call.fn,
+            call.item,
+            scope=call.scope,
+            index=call.index,
+            policy=call.policy,
+            plan=call.plan,
+            stats=stats,
+        )
+    except TaskFailed as failure:
+        return TaskOutcome(
+            "failed", failure, stats, time.perf_counter() - start
+        )
+    return TaskOutcome("ok", result, stats, time.perf_counter() - start)
+
+
+# -- degrade-mode collection -------------------------------------------------
+
+def split_failures(
+    outputs: Sequence[Any],
+) -> Tuple[List[Any], List[TaskFailed]]:
+    """Partition an ``on_error="collect"`` fan-out into survivors/failures.
+
+    The collected :class:`TaskFailed` markers keep their global task
+    ``index`` and attempt history, so callers can report exactly which
+    tasks died before degrading.
+    """
+    survivors = [o for o in outputs if not isinstance(o, TaskFailed)]
+    failures = [o for o in outputs if isinstance(o, TaskFailed)]
+    return survivors, failures
+
+
+# -- the substrate -----------------------------------------------------------
+
+class Substrate:
+    """One submit/retry/collect surface over a parallel backend.
+
+    A thin, stateless wrapper: every keyword is forwarded verbatim to
+    :meth:`Backend.map` / :meth:`Backend.map_with_stats`, so substrate
+    calls inherit the backend's ordering, chunking, retry resolution
+    (``None`` retry + ambient fault plan engages the default policy),
+    and fault-index semantics unchanged.
+    """
+
+    def __init__(self, backend: Union[str, Backend, None] = None) -> None:
+        self.backend = (
+            backend if isinstance(backend, Backend) else get_backend(backend)
+        )
+
+    # -- plain ordered fan-out ----------------------------------------------
+    def submit(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        scope: str,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        on_error: str = "raise",
+        quiet: bool = False,
+        chunksize: Optional[int] = None,
+    ) -> List[Any]:
+        """Ordered fan-out; returns per-item results."""
+        return self.backend.map(
+            fn,
+            items,
+            chunksize,
+            scope=scope,
+            retry=retry,
+            faults=faults,
+            on_error=on_error,
+            quiet=quiet,
+        )
+
+    def submit_with_stats(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        *,
+        scope: str,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        on_error: str = "raise",
+        quiet: bool = False,
+        chunksize: Optional[int] = None,
+    ) -> Tuple[List[Any], RetryStats]:
+        """Like :meth:`submit`, plus driver-side recovery accounting."""
+        return self.backend.map_with_stats(
+            fn,
+            items,
+            chunksize,
+            scope=scope,
+            retry=retry,
+            faults=faults,
+            on_error=on_error,
+            quiet=quiet,
+        )
+
+    # -- isolated dispatch --------------------------------------------------
+    def dispatch_isolated(
+        self,
+        calls: Sequence[IsolatedCall],
+        *,
+        scope: str,
+    ) -> List[TaskOutcome]:
+        """Run each call to a terminal state; outcomes in call order.
+
+        ``scope`` names the *dispatch* fan-out (rate-based chaos plans
+        can target it); each call's own ``scope``/``index`` keys the
+        per-task injection and retry inside the worker, exactly like the
+        ensemble scheduler's historical node dispatch.
+        """
+        return self.submit(run_isolated, calls, scope=scope)
+
+    # -- seed spawning ------------------------------------------------------
+    @staticmethod
+    def task_streams(
+        seed: int, name: str, count: int
+    ) -> List[np.random.SeedSequence]:
+        """``count`` named per-task sequences (``repro.stats`` keying)."""
+        return task_seed_sequences(seed, name, count)
+
+    @staticmethod
+    def stream_factory(seed: int) -> RandomStreamFactory:
+        """A :class:`RandomStreamFactory` rooted at ``seed``."""
+        return RandomStreamFactory(seed)

@@ -18,11 +18,12 @@ job.
 
 from __future__ import annotations
 
-import zlib
 from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
+from repro.exec.keys import partition_index as _partition_index
+from repro.exec.substrate import Substrate
 from repro.faults.retry import RetryPolicy, TaskFailed
 from repro.mapreduce.checkpoint import ChainCheckpoint
 from repro.mapreduce.counters import (
@@ -32,17 +33,7 @@ from repro.mapreduce.counters import (
 )
 from repro.mapreduce.job import KeyValue, MapReduceJob
 from repro.obs import get_observer
-from repro.parallel.backend import Backend, get_backend
-
-
-def _partition_index(key: Any, num_partitions: int) -> int:
-    """Deterministic key-to-partition assignment.
-
-    CRC-32 over the key's repr: stable across processes (no hash
-    randomization) and a single C-speed pass instead of a per-character
-    Python loop.
-    """
-    return zlib.crc32(repr(key).encode("utf-8")) % num_partitions
+from repro.parallel.backend import Backend
 
 
 def _run_map_task(
@@ -132,7 +123,8 @@ class Cluster:
         if num_workers < 1:
             raise SimulationError("cluster needs at least one worker")
         self.num_workers = num_workers
-        self.backend = get_backend(backend)
+        self.substrate = Substrate(backend)
+        self.backend = self.substrate.backend
         self.retry = retry
         self.history: List[Tuple[str, JobCounters]] = []
 
@@ -164,7 +156,7 @@ class Cluster:
                     splits = self._split(list(inputs), counters)
                 map_outputs: List[List[KeyValue]] = []
                 with observer.span("mapreduce.map", tasks=len(splits)):
-                    map_results, map_stats = self.backend.map_with_stats(
+                    map_results, map_stats = self.substrate.submit_with_stats(
                         partial(_run_map_task, job),
                         splits,
                         scope="mapreduce.map",
@@ -182,7 +174,7 @@ class Cluster:
                 with observer.span(
                     "mapreduce.reduce", partitions=len(partitions)
                 ):
-                    red_results, red_stats = self.backend.map_with_stats(
+                    red_results, red_stats = self.substrate.submit_with_stats(
                         partial(_run_reduce_task, job),
                         partitions,
                         scope="mapreduce.reduce",

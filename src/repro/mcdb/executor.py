@@ -21,7 +21,6 @@ Both strategies sample the same distributions; the benchmark
 from __future__ import annotations
 
 import time
-import zlib
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -30,11 +29,12 @@ import numpy as np
 
 from repro.engine.catalog import Database
 from repro.errors import QueryError, SimulationError
+from repro.exec.substrate import Substrate, crc32_rng, spawned_rng
 from repro.faults.retry import RetryPolicy
 from repro.mcdb.random_table import RandomTableSpec
 from repro.mcdb.tuple_bundle import BundledTable
 from repro.obs import get_observer
-from repro.parallel.backend import Backend, get_backend
+from repro.parallel.backend import Backend
 from repro.stats.estimators import (
     ConfidenceInterval,
     mean_confidence_interval,
@@ -123,11 +123,7 @@ class MonteCarloDatabase:
         return sorted(self._specs)
 
     def _rng_for(self, iteration: int) -> np.random.Generator:
-        return np.random.default_rng(
-            np.random.SeedSequence(
-                entropy=self.seed, spawn_key=(iteration,)
-            )
-        )
+        return spawned_rng(self.seed, iteration)
 
     # -- naive execution ----------------------------------------------------
     def instantiate(self, rng: np.random.Generator) -> Database:
@@ -171,7 +167,7 @@ class MonteCarloDatabase:
         with observer.span("mcdb.run_naive", n_mc=n_mc):
             if backend is not None:
                 samples = np.asarray(
-                    get_backend(backend).map(
+                    Substrate(backend).submit(
                         partial(_naive_iteration, self, query),
                         range(n_mc),
                         scope="mcdb.naive",
@@ -187,15 +183,10 @@ class MonteCarloDatabase:
 
     # -- bundled execution ---------------------------------------------------
     def _bundle_rng_for(self, name: str) -> np.random.Generator:
-        # Each random table draws from its own dedicated stream.  The
-        # stream key must not use builtin ``hash`` (randomized per
-        # process); CRC-32 of the table name is stable everywhere.
-        return np.random.default_rng(
-            np.random.SeedSequence(
-                entropy=self.seed,
-                spawn_key=(zlib.crc32(name.encode("utf-8")),),
-            )
-        )
+        # Each random table draws from its own dedicated stream, keyed
+        # by CRC-32 of the table name (stable across processes, unlike
+        # builtin ``hash``).
+        return crc32_rng(self.seed, name)
 
     def instantiate_bundles(
         self,
@@ -218,7 +209,7 @@ class MonteCarloDatabase:
             "mcdb.instantiate_bundles", tables=len(names), n_mc=n_mc
         ):
             if backend is not None:
-                timed_tables = get_backend(backend).map(
+                timed_tables = Substrate(backend).submit(
                     partial(_bundle_for_table, self, n_mc),
                     names,
                     scope="mcdb.bundle",

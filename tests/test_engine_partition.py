@@ -1,0 +1,366 @@
+"""Partitioned tables: byte-identity at every partition count.
+
+Slice 1 of the sharded data plane answers to the same oracle as every
+other executor in this engine: registering a partitioning may change
+*how* a plan runs (one morsel stream per partition, fanned out through
+the ``repro.exec`` substrate), but never *what* it produces — values,
+``None`` placement, row order, ``ExecutionMetrics``, and the obs
+``values`` snapshot must be byte-identical to the unpartitioned plan at
+every partition count, on both schemes, on all three backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.engine import (
+    Database,
+    ExecutionMetrics,
+    PARTITION_SCOPE,
+    PartitionedMorselExecutor,
+    PartitionedTable,
+    Schema,
+    parse_select,
+)
+from repro.engine.morsel import _SCAN_CACHE
+from repro.engine.table import Table
+from repro.ensemble.store import result_fingerprint
+from repro.errors import CatalogError
+from repro.faults.plan import FaultPlan, injected
+
+from tests.test_engine_columnar import CORPUS, nullful_db  # noqa: F401
+
+BACKENDS = ("serial", "thread", "process")
+
+#: person has 60 rows; counts that are trivial (1), split evenly-ish
+#: (2), and guarantee ragged/empty partitions (7).
+PARTITION_COUNTS = (1, 2, 7)
+
+SCHEMES = ("hash", "range")
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    # Neutralize the CI jobs' global knobs: this file sets execution
+    # modes, backends, and fault plans explicitly per test.
+    monkeypatch.delenv("REPRO_ENGINE_MORSEL", raising=False)
+    monkeypatch.delenv("REPRO_ENGINE_EXECUTION", raising=False)
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    _SCAN_CACHE.clear()
+
+
+def _corpus_results(db):
+    return [db.sql(sql) for sql in CORPUS]
+
+
+class TestPartitionedIdentity:
+    """The partitioned corpus fingerprint equals the unpartitioned one."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("n", PARTITION_COUNTS)
+    def test_corpus_fingerprint_hash(
+        self, nullful_db, n, backend, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BACKEND", backend)
+        baseline = result_fingerprint(
+            [nullful_db.sql(sql, execution="row") for sql in CORPUS]
+        )
+        unpartitioned = result_fingerprint(_corpus_results(nullful_db))
+        nullful_db.partition_table("person", "region", n, scheme="hash")
+        try:
+            partitioned = result_fingerprint(_corpus_results(nullful_db))
+        finally:
+            nullful_db.unpartition_table("person")
+        assert unpartitioned == baseline
+        assert partitioned == baseline
+
+    @pytest.mark.parametrize("n", PARTITION_COUNTS)
+    @pytest.mark.parametrize("key", ("pid", "age", "income", "region"))
+    def test_corpus_fingerprint_range_any_key(self, nullful_db, n, key):
+        # Range partitioning on every column type, including the NULL-
+        # rich ones (NULL keys land on partition 0) and the group key
+        # itself, with a small morsel size to force multi-morsel fans.
+        baseline = result_fingerprint(
+            [nullful_db.sql(sql, execution="row") for sql in CORPUS]
+        )
+        nullful_db.partition_table("person", key, n, scheme="range")
+        try:
+            partitioned = result_fingerprint(
+                [nullful_db.sql(sql, morsel_size=7) for sql in CORPUS]
+            )
+        finally:
+            nullful_db.unpartition_table("person")
+        assert partitioned == baseline
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_corpus_obs_values(self, nullful_db, scheme, backend, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", backend)
+        snapshots = {}
+        for label in ("row", "partitioned"):
+            if label == "partitioned":
+                nullful_db.partition_table("person", "region", 3, scheme)
+            observer = obs.enable()
+            observer.reset()
+            try:
+                for sql in CORPUS:
+                    if label == "row":
+                        nullful_db.sql(sql, execution="row")
+                    else:
+                        nullful_db.sql(sql, morsel_size=7)
+                snapshots[label] = observer.metrics.snapshot()["values"]
+            finally:
+                obs.disable()
+                nullful_db.unpartition_table("person")
+        assert snapshots["partitioned"] == snapshots["row"]
+
+    @pytest.mark.parametrize("n", PARTITION_COUNTS)
+    def test_metrics_identical(self, nullful_db, n):
+        sql = (
+            "SELECT region, count(*) AS c, sum(income) AS s "
+            "FROM person WHERE age > 10 GROUP BY region"
+        )
+        counts = {}
+        for label in ("row", "partitioned"):
+            if label == "partitioned":
+                nullful_db.partition_table("person", "pid", n)
+            nullful_db.metrics.reset()
+            try:
+                nullful_db.sql(
+                    sql,
+                    **(
+                        {"execution": "row"}
+                        if label == "row"
+                        else {"morsel_size": 7}
+                    ),
+                )
+            finally:
+                nullful_db.unpartition_table("person")
+            m = nullful_db.metrics
+            counts[label] = (m.rows_scanned, m.rows_output)
+        assert counts["partitioned"] == counts["row"]
+        assert counts["row"][0] == 60
+
+    def test_partitioning_alone_enables_morsel_execution(self, nullful_db):
+        # No morsel_size, no env knob: registering a partitioning is
+        # enough to route eligible plans through the partitioned
+        # executor, identically.
+        baseline = nullful_db.sql(
+            "SELECT pid FROM person WHERE age > 30", execution="row"
+        )
+        nullful_db.partition_table("person", "region", 3)
+        try:
+            rows = nullful_db.sql("SELECT pid FROM person WHERE age > 30")
+        finally:
+            nullful_db.unpartition_table("person")
+        assert rows == baseline
+
+    def test_fault_injection_recovers_identically(self, nullful_db):
+        # Kill the first attempt of the first partition morsel: the
+        # substrate's default retry policy recovers and the result is
+        # still byte-identical.
+        baseline = nullful_db.sql(
+            "SELECT region, count(*) AS n FROM person GROUP BY region",
+            execution="row",
+        )
+        nullful_db.partition_table("person", "pid", 3)
+        plan = FaultPlan(failures={(PARTITION_SCOPE, 0): 1})
+        try:
+            with injected(plan):
+                rows = nullful_db.sql(
+                    "SELECT region, count(*) AS n FROM person "
+                    "GROUP BY region",
+                    morsel_size=7,
+                )
+        finally:
+            nullful_db.unpartition_table("person")
+        assert rows == baseline
+
+
+class TestPartitionedTable:
+    def _table(self):
+        t = Table("t", Schema.of(k=int, label=str))
+        for i in range(20):
+            t.insert({"k": i % 6 if i % 4 else None, "label": f"r{i}"})
+        return t
+
+    def test_validation(self):
+        t = self._table()
+        with pytest.raises(CatalogError):
+            PartitionedTable(t, "k", 0)
+        with pytest.raises(CatalogError):
+            PartitionedTable(t, "k", 2, scheme="round_robin")
+        with pytest.raises(CatalogError):
+            PartitionedTable(t, "missing", 2)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_positions_partition_every_row_exactly_once(self, scheme):
+        t = self._table()
+        parted = PartitionedTable(t, "k", 3, scheme)
+        positions = parted.positions()
+        merged = np.sort(np.concatenate(positions))
+        assert merged.tolist() == list(range(len(t)))
+        assert sum(parted.partition_sizes()) == len(t)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_null_keys_land_on_partition_zero(self, scheme):
+        t = self._table()
+        parted = PartitionedTable(t, "k", 4, scheme)
+        null_rows = [
+            i for i, v in enumerate(t.column_values("k")) if v is None
+        ]
+        assert null_rows  # the fixture really has NULL keys
+        assert set(null_rows) <= set(parted.positions()[0].tolist())
+
+    def test_hash_assignment_is_spelling_invariant(self):
+        t = Table("t", Schema.of(k=float))
+        for v in [1.0, 2.0, 0.0, 5.5]:
+            t.insert({"k": v})
+        ti = Table("ti", Schema.of(k=int))
+        for v in [1, 2, 0]:
+            ti.insert({"k": v})
+        by_float = PartitionedTable(t, "k", 5)
+        by_int = PartitionedTable(ti, "k", 5)
+        float_assign = {
+            v: p
+            for p, pos in enumerate(by_float.positions())
+            for v in np.asarray(t.column_values("k"))[pos]
+        }
+        int_assign = {
+            v: p
+            for p, pos in enumerate(by_int.positions())
+            for v in np.asarray(ti.column_values("k"))[pos]
+        }
+        for v in (1, 2, 0):
+            assert float_assign[float(v)] == int_assign[v]
+
+    def test_range_boundaries_are_sorted_and_deterministic(self):
+        t = self._table()
+        a = PartitionedTable(t, "k", 3, "range")
+        b = PartitionedTable(t, "k", 3, "range")
+        assert a._boundaries == sorted(a._boundaries)
+        assert a._boundaries == b._boundaries
+        for p, pos in enumerate(a.positions()):
+            assert pos.tolist() == b.positions()[p].tolist()
+
+    def test_range_preserves_key_order_across_partitions(self):
+        t = Table("t", Schema.of(k=int))
+        for v in [9, 1, 7, 3, 5, 2, 8, 4, 6, 0]:
+            t.insert({"k": v})
+        parted = PartitionedTable(t, "k", 3, "range")
+        values = t.column_values("k")
+        per_part = [
+            [values[i] for i in pos] for pos in parted.positions()
+        ]
+        # every key in partition p is <= every key in partition p+1
+        for lo, hi in zip(per_part, per_part[1:]):
+            if lo and hi:
+                assert max(lo) < min(hi)
+
+    def test_stale_and_refresh_on_mutation(self):
+        t = self._table()
+        parted = PartitionedTable(t, "k", 3)
+        assert not parted.stale
+        t.insert({"k": 2, "label": "late"})
+        assert parted.stale
+        assert sum(parted.partition_sizes()) == len(t)
+        assert not parted.stale
+
+
+class TestCatalogPartitioning:
+    def test_partition_and_unpartition(self, nullful_db):
+        parted = nullful_db.partition_table("person", "region", 3)
+        assert nullful_db.partitioning("person") is parted
+        assert nullful_db.partitioning("region") is None
+        nullful_db.unpartition_table("person")
+        assert nullful_db.partitioning("person") is None
+
+    def test_partition_unknown_table_or_column(self, nullful_db):
+        with pytest.raises(CatalogError):
+            nullful_db.partition_table("nope", "x", 2)
+        with pytest.raises(CatalogError):
+            nullful_db.partition_table("person", "nope", 2)
+
+    def test_replace_and_drop_invalidate(self, nullful_db):
+        nullful_db.partition_table("person", "region", 3)
+        nullful_db.create_table(
+            "person", Schema.of(pid=int, age=int, region=str, income=float),
+            replace=True,
+        )
+        # A replaced table must not execute against stale positions.
+        assert nullful_db.partitioning("person") is None
+        nullful_db.partition_table("region", "region", 2)
+        nullful_db.drop_table("region")
+        assert nullful_db.partitioning("region") is None
+
+    def test_register_replace_invalidates(self, nullful_db):
+        nullful_db.partition_table("region", "region", 2)
+        fresh = Table("region", Schema.of(region=str, mult=float))
+        nullful_db.register(fresh, replace=True)
+        assert nullful_db.partitioning("region") is None
+
+    def test_refresh_tracks_inserts_through_queries(self, nullful_db):
+        nullful_db.partition_table("person", "pid", 3)
+        try:
+            before = nullful_db.sql("SELECT count(*) AS n FROM person")
+            nullful_db.table("person").insert(
+                {"pid": 60, "age": 33, "region": "east", "income": 1.0}
+            )
+            after = nullful_db.sql("SELECT count(*) AS n FROM person")
+        finally:
+            nullful_db.unpartition_table("person")
+        assert before == [{"n": 60}]
+        assert after == [{"n": 61}]
+
+
+class TestPartitionRunAccounting:
+    def _execute(self, db, sql, morsel_size=7):
+        plan = db.optimize_plan(parse_select(sql))
+        executor = PartitionedMorselExecutor(
+            db, ExecutionMetrics(), morsel_size=morsel_size
+        )
+        batch = executor.execute(plan)
+        return executor, batch
+
+    def test_chain_records_one_run(self, nullful_db):
+        nullful_db.partition_table("person", "region", 3)
+        try:
+            executor, rows = self._execute(
+                nullful_db, "SELECT pid FROM person WHERE age > 30"
+            )
+        finally:
+            nullful_db.unpartition_table("person")
+        (run,) = executor.partition_runs
+        assert (run.table, run.key, run.scheme) == (
+            "person", "region", "hash"
+        )
+        assert run.partitions == 3
+        assert sum(run.partition_rows) == 60
+        assert run.rows_in == 60
+        assert run.rows_merged == len(rows)
+        # 60 rows over 3 partitions at morsel size 7 → at least one
+        # morsel per non-empty partition.
+        assert run.morsels >= sum(1 for r in run.partition_rows if r)
+
+    def test_aggregate_records_merge_of_all_rows(self, nullful_db):
+        nullful_db.partition_table("person", "pid", 7)
+        try:
+            executor, _ = self._execute(
+                nullful_db,
+                "SELECT region, count(*) AS n FROM person GROUP BY region",
+            )
+        finally:
+            nullful_db.unpartition_table("person")
+        (run,) = executor.partition_runs
+        assert run.rows_in == 60
+        assert run.rows_merged == 60  # no filter: every row reaches merge
+        assert run.partitions == 7
+
+    def test_non_partitioned_scan_records_nothing(self, nullful_db):
+        executor, _ = self._execute(
+            nullful_db, "SELECT pid FROM person WHERE age > 30"
+        )
+        assert executor.partition_runs == []

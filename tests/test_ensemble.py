@@ -320,12 +320,23 @@ class TestRunStore:
         assert not store.evict(key)
 
     def test_gc_sweeps_scratch_debris(self, tmp_path):
+        import time as _time
+
         store = RunStore(tmp_path)
         debris = Path(store._scratch_dir()) / "crashed-put"
         debris.mkdir()
         (debris / "run.json").write_text("{}")
+        stale = _time.time() - 3600.0
+        os.utime(debris, (stale, stale))
+        # A fresh staging dir — a concurrent in-flight put — survives.
+        inflight = Path(store._scratch_dir()) / "inflight-put"
+        inflight.mkdir()
         assert store.gc() == []
         assert not debris.exists()
+        assert inflight.exists()
+        # Shrinking the age gate sweeps the remaining dir too.
+        assert store.gc(scratch_age_seconds=-1.0) == []
+        assert not inflight.exists()
 
     def test_normalize_matches_store_normal_form(self):
         raw = {"a": (1, np.int64(2)), "b": np.float32(1.5)}

@@ -137,6 +137,55 @@ class TestApproximateSize:
             Cluster(1).last_counters()
 
 
+def _spelling_mapper(_, record):
+    yield record, 1
+
+
+class TestShuffleKeyCanonicalization:
+    """Partition assignment must be a pure function of the key.
+
+    ``_partition_index`` used to hash ``repr(key)`` while the shuffle
+    memo looked keys up by dict equality, so equality-equal spellings
+    (``1`` vs ``1.0`` vs ``True``) landed on whichever partition the
+    *first-emitted* spelling hashed to.
+    """
+
+    def test_equal_keys_share_a_partition_index(self):
+        from repro.mapreduce.runtime import _partition_index
+
+        for n in (2, 3, 5, 7, 16):
+            assert (
+                _partition_index(1, n)
+                == _partition_index(1.0, n)
+                == _partition_index(True, n)
+            )
+            assert (
+                _partition_index(0, n)
+                == _partition_index(0.0, n)
+                == _partition_index(False, n)
+            )
+            # Strings keep their historical repr-based assignment.
+            import zlib
+
+            assert _partition_index("a", n) == zlib.crc32(b"'a'") % n
+
+    def test_mixed_type_keys_do_not_depend_on_emission_order(self):
+        job = MapReduceJob(
+            "mixed", _spelling_mapper, sum_reducer, num_reducers=4
+        )
+        spellings = [1, 1.0, True, 0, 0.0, False, 2.0, 2, 1, 0.0]
+        forward = Cluster(num_workers=1).run(
+            job, [(None, s) for s in spellings]
+        )
+        backward = Cluster(num_workers=1).run(
+            job, [(None, s) for s in reversed(spellings)]
+        )
+        # Same partition per key regardless of which spelling arrived
+        # first, so the concatenated reduce output is identical.
+        assert forward == backward
+        assert dict(forward) == {1: 4, 0: 4, 2: 2}
+
+
 class TestChaining:
     def test_two_stage_pipeline(self):
         # Stage 1: word count; stage 2: histogram of counts.

@@ -827,6 +827,12 @@ class TestRunStoreConcurrency:
                         )
                     if slot == 0 and i % 5 == 0:
                         store.evict(key)
+                    if slot == 1 and i % 3 == 0:
+                        # gc concurrent with in-flight puts: the
+                        # age-gated scratch sweep must never delete a
+                        # live staging dir (an unconditional sweep made
+                        # racing puts crash on a half-deleted stage).
+                        store.gc()
             except Exception as exc:  # noqa: BLE001 - surfaced below
                 errors.append(exc)
 
