@@ -17,6 +17,12 @@ paths, and dumps a Chrome-trace JSON plus a metrics snapshot.
 store (re-running serves every node from the warm store), ``ls`` lists
 stored runs, and ``gc`` evicts by age/size.
 
+``delta`` drives the :mod:`repro.delta` incremental-recomputation
+layer: ``plan`` shows (and ``--execute`` recomputes) the exact
+invalidation cone of a ``--set NODE:KEY=VALUE`` perturbation against a
+warm store, and ``diff`` compares two branch timelines store-side
+without re-running either.
+
 ``serve`` starts the :mod:`repro.serve` simulation service (async
 multi-client server with admission control, session isolation, and a
 deduplicating result cache); ``query`` is the matching one-shot SQL
@@ -44,6 +50,9 @@ commands:
   obs-report  run an instrumented experiment, dump trace + metrics snapshots
   ensemble    scenario orchestration: run a demo ensemble against the
               content-addressed run store, list stored runs, or gc the store
+  delta       incremental recomputation: plan/execute the exact invalidation
+              cone of a perturbation, or diff two branch timelines
+              store-side without re-running either
   serve       start the simulation service (SQL + MCDB + ensembles over
               newline-delimited JSON, with admission control and a
               deduplicating result cache)
@@ -236,17 +245,26 @@ def ensemble_run(args) -> int:
     return 0 if result.ok else 1
 
 
+def _store_header(store) -> str:
+    """The one-line store summary (zero run.json reads)."""
+    count, total = store.summary()
+    if not count:
+        return f"store {store.root!r} is empty"
+    return f"store {store.root!r}: {count} run(s), {total} bytes"
+
+
 def ensemble_ls(args) -> int:
     store = _open_store(args.store)
-    entries = store.ls()
-    if not entries:
-        print(f"store {store.root!r} is empty")
+    print(_store_header(store))
+    if args.summary:
         return 0
-    print(f"store {store.root!r}: {len(entries)} run(s), "
-          f"{sum(e.size_bytes for e in entries)} bytes")
-    for entry in entries:
+    for entry in store.ls(limit=args.limit):
         print(f"  {entry.key[:16]}  {entry.size_bytes:>8}B  "
               f"seed={entry.seed:<6} {entry.scenario}")
+    if args.limit is not None:
+        count, _ = store.summary()
+        if count > args.limit:
+            print(f"  ... ({count - args.limit} more; raise --limit)")
     return 0
 
 
@@ -259,6 +277,87 @@ def ensemble_gc(args) -> int:
     print(f"evicted {len(evicted)} run(s) from {store.root!r}; "
           f"{store.total_bytes()} bytes retained")
     return 0
+
+
+# -- delta ------------------------------------------------------------------
+
+def _parse_value(raw: str):
+    """CLI literal -> int, float, bool, or string (in that order)."""
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for caster in (int, float):
+        try:
+            return caster(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_sets(items):
+    """``NODE:KEY=VALUE`` occurrences -> ``{node: {key: value}}``."""
+    updates = {}
+    for item in items or ():
+        node, sep, assignment = item.partition(":")
+        key, eq, raw = assignment.partition("=")
+        if not sep or not eq or not node or not key:
+            raise SystemExit(
+                f"--set expects NODE:KEY=VALUE, got {item!r}"
+            )
+        updates.setdefault(node, {})[key] = _parse_value(raw)
+    return updates
+
+
+def _demo_ensemble(demo: str, seed: int, quick: bool):
+    from repro.ensemble.scenarios import DEMO_ENSEMBLES
+
+    return DEMO_ENSEMBLES[demo](seed=seed, quick=quick)
+
+
+def delta_plan_cmd(args) -> int:
+    from repro.delta import execute_plan, perturb, plan_delta
+
+    store = _open_store(args.store)
+    base = _demo_ensemble(args.demo, args.seed, args.quick)
+    updates = _parse_sets(args.set)
+    if updates:
+        target = perturb(base, params=updates, name=f"{base.name}~delta")
+        plan = plan_delta(target, store, base=base)
+    else:
+        target, plan = base, plan_delta(base, store)
+    print(_store_header(store))
+    print(plan.render())
+    if not args.execute:
+        return 0
+    result = execute_plan(plan, store, backend=args.backend)
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+def delta_diff_cmd(args) -> int:
+    import json as _json
+
+    from repro.delta import diff_timelines, perturb
+
+    store = _open_store(args.store)
+
+    def timeline(seed, sets, suffix):
+        ensemble = _demo_ensemble(args.demo, seed, args.quick)
+        updates = _parse_sets(sets)
+        if updates:
+            ensemble = perturb(
+                ensemble, params=updates, name=f"{ensemble.name}~{suffix}"
+            )
+        return ensemble
+
+    ensemble_a = timeline(args.seed_a, args.set_a, "a")
+    ensemble_b = timeline(args.seed_b, args.set_b, "b")
+    report = diff_timelines(store, ensemble_a, ensemble_b)
+    if args.json:
+        print(_json.dumps(report.as_dict(), indent=2, default=str))
+    else:
+        print(report.render())
+    return 0 if report.identical else 1
 
 
 # -- serve ------------------------------------------------------------------
@@ -414,6 +513,14 @@ def main(argv=None) -> int:
 
     ls_cmd = actions.add_parser("ls", help="list stored runs, oldest first")
     ls_cmd.add_argument("--store", default=default_store)
+    ls_cmd.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show at most N runs (metadata is read only for those N)",
+    )
+    ls_cmd.add_argument(
+        "--summary", action="store_true",
+        help="print only the count/bytes header (no per-run metadata reads)",
+    )
     ls_cmd.set_defaults(handler=ensemble_ls)
 
     gc_cmd = actions.add_parser(
@@ -429,6 +536,73 @@ def main(argv=None) -> int:
         help="evict oldest entries until the store fits in this many bytes",
     )
     gc_cmd.set_defaults(handler=ensemble_gc)
+
+    delta_parser = commands.add_parser(
+        "delta",
+        help="incremental recomputation: plan/execute invalidation cones "
+        "and diff branch timelines store-side",
+    )
+    delta_actions = delta_parser.add_subparsers(dest="action", required=True)
+
+    plan_cmd = delta_actions.add_parser(
+        "plan",
+        help="plan (and optionally execute) the exact invalidation cone "
+        "of a perturbed demo ensemble",
+    )
+    plan_cmd.add_argument(
+        "--demo", choices=("composite", "epidemic", "sweep"),
+        default="sweep",
+        help="base demo ensemble (default: sweep — the DoE surface)",
+    )
+    plan_cmd.add_argument("--store", default=default_store)
+    plan_cmd.add_argument("--seed", type=int, default=0)
+    plan_cmd.add_argument(
+        "--quick", action="store_true", help="shrink problem sizes"
+    )
+    plan_cmd.add_argument(
+        "--set", action="append", metavar="NODE:KEY=VALUE",
+        help="perturb one node's parameter (repeatable); the plan shows "
+        "the cone the change invalidates",
+    )
+    plan_cmd.add_argument(
+        "--execute", action="store_true",
+        help="recompute the cone (default: plan only)",
+    )
+    plan_cmd.add_argument(
+        "--backend", default=None,
+        help="execution backend: serial, thread, or process "
+        "(default: the REPRO_BACKEND environment variable)",
+    )
+    plan_cmd.set_defaults(handler=delta_plan_cmd)
+
+    diff_cmd = delta_actions.add_parser(
+        "diff",
+        help="compare two branch timelines store-side (no re-execution); "
+        "exits 1 if they differ",
+    )
+    diff_cmd.add_argument(
+        "--demo", choices=("composite", "epidemic", "sweep"),
+        default="sweep",
+    )
+    diff_cmd.add_argument("--store", default=default_store)
+    diff_cmd.add_argument("--seed-a", type=int, default=0)
+    diff_cmd.add_argument("--seed-b", type=int, default=0)
+    diff_cmd.add_argument(
+        "--set-a", action="append", metavar="NODE:KEY=VALUE",
+        help="perturb timeline A (repeatable)",
+    )
+    diff_cmd.add_argument(
+        "--set-b", action="append", metavar="NODE:KEY=VALUE",
+        help="perturb timeline B (repeatable)",
+    )
+    diff_cmd.add_argument(
+        "--quick", action="store_true", help="shrink problem sizes"
+    )
+    diff_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the structured per-node report as JSON",
+    )
+    diff_cmd.set_defaults(handler=delta_diff_cmd)
 
     serve_parser = commands.add_parser(
         "serve",
@@ -496,7 +670,7 @@ def main(argv=None) -> int:
             out_dir=args.out_dir, backend=args.backend, quick=args.quick
         )
         return 0
-    if args.command in ("ensemble", "serve", "query"):
+    if args.command in ("ensemble", "delta", "serve", "query"):
         return args.handler(args)
     return tour()
 

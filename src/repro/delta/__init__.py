@@ -1,0 +1,79 @@
+"""repro.delta — incremental recomputation over content-addressed runs.
+
+The model-data ecosystems the paper surveys are long-lived: a sweep is
+materialized once, then *perturbed* — one factor nudged, one model
+swapped, one branch forked — and the question is always "what is the
+minimum work that brings the results current?".  This package answers
+it three ways, all riding the repo's Merkle-folded run keys:
+
+* :mod:`repro.delta.plan` — :func:`plan_delta` computes the exact
+  invalidation cone of a perturbation (changed nodes plus the
+  descendants their key changes reach) and :func:`execute_plan`
+  recomputes only that cone, serving everything else from the
+  :class:`~repro.ensemble.store.RunStore` without even loading it
+  unless a cone node consumes it.
+* :mod:`repro.delta.views` — :class:`MaterializedView` keeps a sweep
+  materialized across successive perturbations (perturb → plan →
+  execute → adopt).
+* :mod:`repro.delta.aggregates` — :class:`AppendLog` proves pure-append
+  intervals on engine tables and :class:`IncrementalAggregate`
+  maintains group-by COUNT/SUM/MIN/MAX/AVG states by folding only the
+  appended tail, byte-identical to a full recompute.
+* :mod:`repro.delta.diff` — :func:`diff_timelines` compares two branch
+  timelines entirely store-side (no re-execution), with array-aware
+  per-node value deltas.
+
+CLI: ``python -m repro delta plan|diff``.
+"""
+
+from repro.delta.aggregates import (
+    AGG_FUNCS,
+    AggSpec,
+    AppendDelta,
+    AppendLog,
+    IncrementalAggregate,
+    RefreshReport,
+)
+from repro.delta.diff import (
+    LeafDelta,
+    NodeDiff,
+    TimelineDiff,
+    diff_timelines,
+    value_deltas,
+)
+from repro.delta.plan import (
+    RECOMPUTE,
+    REUSE,
+    DeltaPlan,
+    DeltaResult,
+    NodePlan,
+    delta_run,
+    execute_plan,
+    perturb,
+    plan_delta,
+)
+from repro.delta.views import MaterializedView
+
+__all__ = [
+    "AGG_FUNCS",
+    "RECOMPUTE",
+    "REUSE",
+    "AggSpec",
+    "AppendDelta",
+    "AppendLog",
+    "DeltaPlan",
+    "DeltaResult",
+    "IncrementalAggregate",
+    "LeafDelta",
+    "MaterializedView",
+    "NodeDiff",
+    "NodePlan",
+    "RefreshReport",
+    "TimelineDiff",
+    "delta_run",
+    "diff_timelines",
+    "execute_plan",
+    "perturb",
+    "plan_delta",
+    "value_deltas",
+]

@@ -1,0 +1,531 @@
+"""Delta plans: exact invalidation cones over content-addressed ensembles.
+
+A warm :func:`~repro.ensemble.scheduler.run_ensemble` already serves
+unchanged nodes from the :class:`~repro.ensemble.store.RunStore`, but it
+does so *naively*: every node is re-keyed, probed against the store, has
+its (possibly large) stored result loaded back from disk, and rides
+through the full wave dispatch — even when a perturbation touched one
+node out of thousands.  A :class:`DeltaPlan` makes the reuse explicit
+and the work proportional to the change:
+
+* **plan** (:func:`plan_delta`) — walk the target ensemble in
+  topological order, derive every node's Merkle-folded run key, and
+  classify each node ``reuse`` (key already committed in the store) or
+  ``recompute``, with a *reason* that explains the cone shape:
+  ``changed`` (the node's own scenario/params/seed moved vs. the base),
+  ``upstream`` (only its upstream fold moved — a cone descendant),
+  ``added`` (no base counterpart), ``missing`` (key unchanged but
+  evicted from the store), or ``cold`` (no base given).  Because run
+  keys fold upstream keys Merkle-style, the ``recompute`` set is
+  exactly the changed nodes plus the descendants their changes reach —
+  the invalidation cone — and everything outside it is provably
+  reusable byte-for-byte.
+* **execute** (:func:`execute_plan`) — dispatch *only* the cone through
+  the :class:`~repro.exec.substrate.Substrate`, loading a reused
+  upstream result from the store only when a cone node actually
+  consumes it.  Reused nodes that feed nothing recomputed are never
+  deserialized, which is what makes a one-factor perturbation of a
+  thousands-of-node sweep cost O(cone), not O(sweep).
+
+Fault semantics are inherited unchanged: a recomputed node executes
+under scope ``"ensemble.node"`` with its *global topological index in
+the target ensemble* — the same index a full ``run_ensemble(target)``
+would use — so ``REPRO_FAULTS=at=ensemble.node:<i>`` kills the same
+logical node whether the run is full or incremental, and a
+killed-and-retried node lands in the store with the same content
+address either way.
+
+Observability: ``delta.plan`` / ``delta.reused`` / ``delta.recomputed``
+counters (nonzero-guarded, pure functions of ensemble + store state, so
+snapshots stay byte-identical across backends), ``delta.loads`` for
+lazily fetched upstream results, and per-plan ``delta.plan`` /
+``delta.execute`` spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.ensemble.scheduler import (
+    EnsembleResult,
+    NodePayload,
+    NodeReport,
+    node_call,
+)
+from repro.ensemble.spec import (
+    Ensemble,
+    ScenarioSpec,
+    canonical_json,
+    get_scenario,
+    scenario_qualname,
+)
+from repro.ensemble.store import RunStore, run_key
+from repro.errors import SimulationError
+from repro.exec.substrate import Substrate
+from repro.faults.plan import FaultPlan, get_fault_plan
+from repro.faults.retry import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY,
+    RetryPolicy,
+    RetryStats,
+    TaskFailed,
+)
+from repro.obs import get_observer
+from repro.parallel.backend import Backend
+
+#: Plan actions.
+REUSE = "reuse"
+RECOMPUTE = "recompute"
+
+#: Recompute reasons, in rendering order.
+REASONS = ("changed", "upstream", "added", "missing", "cold")
+
+
+# -- perturbation ------------------------------------------------------------
+
+def perturb(
+    ensemble: Ensemble,
+    params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    scenarios: Optional[Mapping[str, str]] = None,
+    seeds: Optional[Mapping[str, int]] = None,
+    name: Optional[str] = None,
+) -> Ensemble:
+    """A what-if copy of ``ensemble`` with targeted spec changes.
+
+    ``params`` merges updates into named nodes' parameter dicts
+    (:meth:`ScenarioSpec.with_params`); ``scenarios`` swaps a node's
+    registered scenario (a *code* change — the new callable's qualname
+    re-keys the node); ``seeds`` re-seeds nodes.  The DAG shape is
+    untouched, so :func:`plan_delta` can line the copy up against the
+    original node-by-node.
+    """
+    replacements: Dict[str, ScenarioSpec] = {}
+
+    def current(node_name: str) -> ScenarioSpec:
+        return replacements.get(node_name, ensemble.node(node_name).spec)
+
+    for node_name, updates in (params or {}).items():
+        replacements[node_name] = current(node_name).with_params(**updates)
+    for node_name, scenario in (scenarios or {}).items():
+        spec = current(node_name)
+        get_scenario(scenario)  # fail fast on unregistered names
+        replacements[node_name] = ScenarioSpec(
+            scenario, spec.params, spec.seed
+        )
+    for node_name, seed in (seeds or {}).items():
+        spec = current(node_name)
+        replacements[node_name] = ScenarioSpec(
+            spec.scenario, spec.params, int(seed)
+        )
+    return ensemble.with_specs(replacements, name=name)
+
+
+# -- the plan ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NodePlan:
+    """One node's resolution: serve from the store, or recompute."""
+
+    name: str
+    key: str
+    action: str  # "reuse" | "recompute"
+    reason: str  # "hit" for reuse; else a member of REASONS
+    base_key: Optional[str] = None
+
+    def render(self) -> str:
+        moved = (
+            ""
+            if self.base_key in (None, self.key)
+            else f"  (was {self.base_key[:12]})"
+        )
+        return (
+            f"{self.action:<10} {self.reason:<9} {self.name}  "
+            f"[{self.key[:12]}]{moved}"
+        )
+
+
+@dataclass
+class DeltaPlan:
+    """The exact recompute/reuse partition for one target ensemble."""
+
+    ensemble: Ensemble
+    keys: Dict[str, str]
+    nodes: Dict[str, NodePlan] = field(default_factory=dict)
+
+    @property
+    def nodes_total(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def nodes_reused(self) -> int:
+        return sum(1 for n in self.nodes.values() if n.action == REUSE)
+
+    @property
+    def nodes_recomputed(self) -> int:
+        return sum(1 for n in self.nodes.values() if n.action == RECOMPUTE)
+
+    @property
+    def cone(self) -> List[str]:
+        """Names of the nodes the plan will execute, topologically."""
+        return [
+            n.name for n in self.nodes.values() if n.action == RECOMPUTE
+        ]
+
+    @property
+    def recompute_fraction(self) -> float:
+        """Cone size over ensemble size (the <5% headline metric)."""
+        return self.nodes_recomputed / max(self.nodes_total, 1)
+
+    def reasons(self) -> Dict[str, int]:
+        """Recompute-reason histogram (stable key order)."""
+        counts: Dict[str, int] = {}
+        for reason in REASONS:
+            amount = sum(
+                1 for n in self.nodes.values() if n.reason == reason
+            )
+            if amount:
+                counts[reason] = amount
+        return counts
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable plan: headline plus the cone (reuses elided)."""
+        lines = [
+            f"delta plan for {self.ensemble.name!r}: "
+            f"{self.nodes_total} node(s) — {self.nodes_reused} reused, "
+            f"{self.nodes_recomputed} recomputed "
+            f"({100.0 * self.recompute_fraction:.1f}%)"
+            + (f"  reasons={self.reasons()}" if self.nodes_recomputed else "")
+        ]
+        shown = 0
+        for node in self.nodes.values():
+            if node.action != RECOMPUTE:
+                continue
+            if shown == limit:
+                lines.append(
+                    f"  ... ({self.nodes_recomputed - limit} more "
+                    "recomputed node(s))"
+                )
+                break
+            lines.append("  " + node.render())
+            shown += 1
+        return "\n".join(lines)
+
+
+def _own_content(spec: ScenarioSpec) -> Tuple[str, str, int]:
+    """A node's key contribution minus the upstream fold."""
+    return (
+        scenario_qualname(spec.scenario),
+        canonical_json(spec.params),
+        spec.seed,
+    )
+
+
+def plan_delta(
+    target: Ensemble,
+    store: RunStore,
+    base: Optional[Ensemble] = None,
+) -> DeltaPlan:
+    """Classify every ``target`` node as reuse-from-store or recompute.
+
+    ``base`` (the ensemble the store was last materialized from) only
+    sharpens the *reasons* — ``changed`` vs. ``upstream`` vs. ``added``
+    vs. ``missing`` — the reuse/recompute split itself is decided purely
+    by content-address membership in ``store``, so a stale or absent
+    ``base`` can never cause an unsound reuse.
+    """
+    observer = get_observer()
+    with observer.span(
+        "delta.plan", ensemble=target.name, nodes=len(target)
+    ):
+        keys: Dict[str, str] = {}
+        plan = DeltaPlan(ensemble=target, keys=keys)
+        base_keys: Dict[str, str] = {}
+        if base is not None:
+            from repro.ensemble.scheduler import compute_run_keys
+
+            base_keys = compute_run_keys(base)
+        for node in target.topological_order():
+            key = run_key(
+                scenario_qualname(node.spec.scenario),
+                node.spec.params,
+                node.spec.seed,
+                upstream={dep: keys[dep] for dep in node.deps},
+            )
+            keys[node.name] = key
+            base_key = base_keys.get(node.name)
+            if store.contains(key):
+                action, reason = REUSE, "hit"
+            else:
+                action = RECOMPUTE
+                if base is None:
+                    reason = "cold"
+                elif node.name not in base:
+                    reason = "added"
+                elif base_key == key:
+                    reason = "missing"
+                elif (
+                    _own_content(base.node(node.name).spec)
+                    != _own_content(node.spec)
+                ):
+                    reason = "changed"
+                else:
+                    reason = "upstream"
+            plan.nodes[node.name] = NodePlan(
+                node.name, key, action, reason, base_key
+            )
+    _emit_plan_metrics(observer, plan)
+    return plan
+
+
+def _emit_plan_metrics(observer, plan: DeltaPlan) -> None:
+    """``delta.plan``/``delta.reused``/``delta.recomputed`` counters.
+
+    Pure functions of (ensemble, store contents) — never of the backend
+    — and nonzero-guarded, so live ``values`` snapshots stay
+    byte-identical across serial/thread/process.
+    """
+    observer.counter("delta.plan").inc()
+    for metric, amount in (
+        ("delta.reused", plan.nodes_reused),
+        ("delta.recomputed", plan.nodes_recomputed),
+    ):
+        if amount:
+            observer.counter(metric).add(amount)
+
+
+# -- execution ---------------------------------------------------------------
+
+class DeltaResult(EnsembleResult):
+    """An :class:`EnsembleResult` whose ``results`` hold only the cone.
+
+    Reused nodes are reported with status ``"reused"`` but their stored
+    results are *not* loaded into memory (that laziness is the point of
+    the delta path); fetch one on demand with :meth:`result`.
+    """
+
+    def __init__(self, name: str, plan: DeltaPlan, store: RunStore) -> None:
+        super().__init__(name=name)
+        self.plan = plan
+        self._store = store
+
+    @property
+    def nodes_reused(self) -> int:
+        return self._count("reused")
+
+    def result(self, name: str) -> Any:
+        """The result of any completed node — computed, or store-loaded."""
+        if name in self.results:
+            return self.results[name]
+        report = self.reports.get(name)
+        if report is None:
+            raise SimulationError(
+                f"unknown node {name!r} in delta result {self.name!r}"
+            )
+        value = self._store.get(report.key)
+        if value is None:
+            raise SimulationError(
+                f"node {name!r} ({report.status}) has no stored result "
+                f"under {report.key[:12]}…; the store was mutated after "
+                "planning — re-plan and re-execute"
+            )
+        return value
+
+    def render(self) -> str:
+        lines = [
+            f"delta {self.name!r}: {self.nodes} node(s) — "
+            f"{self.nodes_reused} reused, {self.nodes_run} recomputed, "
+            f"{self.nodes_failed} failed, {self.nodes_skipped} skipped"
+            + (f", {self.nodes_retried} retried" if self.nodes_retried else "")
+        ]
+        for report in self.reports.values():
+            if report.status != "reused":
+                lines.append(report.render())
+        if self.store_stats is not None:
+            lines.append(f"store: {self.store_stats}")
+        return "\n".join(lines)
+
+
+def execute_plan(
+    plan: DeltaPlan,
+    store: RunStore,
+    backend: Union[str, Backend, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+) -> DeltaResult:
+    """Recompute exactly the plan's cone; serve everything else by key.
+
+    Wave-by-wave over the target ensemble, mirroring
+    :func:`~repro.ensemble.scheduler.run_ensemble` — same retry/fault
+    defaulting, same per-node scope and global topological fault index,
+    same failed-node-skips-descendants semantics — but a reused node
+    costs nothing unless a cone node consumes its result, in which case
+    it is loaded from the store once and shared by every consumer in
+    the wave set.
+    """
+    fplan = faults if faults is not None else get_fault_plan()
+    policy = retry if retry is not None else (
+        DEFAULT_RETRY_POLICY if fplan is not None else NO_RETRY
+    )
+    ensemble = plan.ensemble
+    substrate = Substrate(backend)
+    observer = get_observer()
+    indices = {
+        node.name: i for i, node in enumerate(ensemble.topological_order())
+    }
+    checkpoint_dir = store.checkpoint_dir()
+
+    outcome = DeltaResult(ensemble.name, plan, store)
+    loaded: Dict[str, Any] = {}  # store-loaded reused upstream results
+    dead: Dict[str, str] = {}
+    totals = RetryStats()
+    loads = 0
+
+    def upstream_result(dep: str) -> Any:
+        nonlocal loads
+        if dep in outcome.results:
+            return outcome.results[dep]
+        if dep not in loaded:
+            value = store.get(plan.keys[dep])
+            if value is None:
+                raise SimulationError(
+                    f"reused upstream node {dep!r} vanished from the "
+                    f"store (key {plan.keys[dep][:12]}…) between "
+                    "planning and execution — re-plan and re-execute"
+                )
+            loaded[dep] = value
+            loads += 1
+        return loaded[dep]
+
+    with observer.span(
+        "delta.execute",
+        ensemble=ensemble.name,
+        nodes=plan.nodes_total,
+        cone=plan.nodes_recomputed,
+    ):
+        for wave in ensemble.waves():
+            pending: List[NodePayload] = []
+            for node in wave:
+                node_plan = plan.nodes[node.name]
+                if node_plan.action == REUSE:
+                    outcome.reports[node.name] = NodeReport(
+                        node.name, node_plan.key, "reused"
+                    )
+                    continue
+                broken = next(
+                    (dep for dep in node.deps if dep in dead), None
+                )
+                if broken is not None:
+                    root = dead[broken]
+                    dead[node.name] = root
+                    outcome.reports[node.name] = NodeReport(
+                        node.name, node_plan.key, "skipped", blocked_on=root
+                    )
+                    continue
+                pending.append(
+                    NodePayload(
+                        name=node.name,
+                        scenario=node.spec.scenario,
+                        fn=get_scenario(node.spec.scenario),
+                        params=dict(node.spec.params),
+                        seed=node.spec.seed,
+                        upstream={
+                            dep: upstream_result(dep) for dep in node.deps
+                        },
+                        index=indices[node.name],
+                        policy=policy,
+                        plan=fplan,
+                        checkpoint_dir=checkpoint_dir,
+                        key=node_plan.key,
+                    )
+                )
+            if not pending:
+                continue
+            resolved = substrate.dispatch_isolated(
+                [node_call(payload) for payload in pending],
+                scope="delta.dispatch",
+            )
+            node_timer = observer.timer("delta.node_seconds")
+            for payload, (status, value, stats, seconds) in zip(
+                pending, resolved
+            ):
+                totals.absorb(stats)
+                node_timer.add(seconds)
+                if status == "ok":
+                    spec = ensemble.node(payload.name).spec
+                    outcome.results[payload.name] = store.put(
+                        payload.key,
+                        value,
+                        scenario=spec.scenario,
+                        params=spec.params,
+                        seed=spec.seed,
+                    )
+                    outcome.reports[payload.name] = NodeReport(
+                        payload.name,
+                        payload.key,
+                        "run",
+                        seconds=seconds,
+                        attempts=stats.attempts,
+                        retried=stats.tasks_retried > 0,
+                    )
+                else:
+                    failure: TaskFailed = value
+                    dead[payload.name] = payload.name
+                    outcome.reports[payload.name] = NodeReport(
+                        payload.name,
+                        payload.key,
+                        "failed",
+                        seconds=seconds,
+                        attempts=stats.attempts,
+                        retried=stats.tasks_retried > 0,
+                        error=f"{failure}\n{failure.history()}",
+                    )
+
+    _emit_execute_metrics(observer, outcome, totals, loads)
+    outcome.store_stats = store.stats.as_dict()
+    return outcome
+
+
+def _emit_execute_metrics(
+    observer, outcome: DeltaResult, totals: RetryStats, loads: int
+) -> None:
+    """Execution counters (nonzero-guarded, backend-independent)."""
+    for metric, amount in (
+        ("delta.nodes_run", outcome.nodes_run),
+        ("delta.nodes_failed", outcome.nodes_failed),
+        ("delta.nodes_skipped", outcome.nodes_skipped),
+        ("delta.nodes_retried", outcome.nodes_retried),
+        ("delta.loads", loads),
+        ("delta.injected", totals.injected),
+        ("delta.retries", totals.retries),
+    ):
+        if amount:
+            observer.counter(metric).add(amount)
+
+
+def delta_run(
+    target: Ensemble,
+    store: RunStore,
+    base: Optional[Ensemble] = None,
+    backend: Union[str, Backend, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    faults: Optional[FaultPlan] = None,
+) -> DeltaResult:
+    """Plan and execute in one call (the common path)."""
+    plan = plan_delta(target, store, base=base)
+    return execute_plan(
+        plan, store, backend=backend, retry=retry, faults=faults
+    )
+
+
+__all__ = [
+    "RECOMPUTE",
+    "REUSE",
+    "DeltaPlan",
+    "DeltaResult",
+    "NodePlan",
+    "delta_run",
+    "execute_plan",
+    "perturb",
+    "plan_delta",
+]

@@ -1,0 +1,131 @@
+"""Materialized ensemble views: a kept-fresh sweep you perturb in place.
+
+A :class:`MaterializedView` pairs an :class:`~repro.ensemble.spec.Ensemble`
+with the :class:`~repro.ensemble.store.RunStore` holding its results and
+owns the perturb → plan → execute loop:
+
+>>> view = MaterializedView(ensemble, store)
+>>> view.build()                              # cold materialization
+>>> result = view.refresh(params={"sweep/007": {"x1": 0.25}})
+>>> view.plan.recompute_fraction              # the cone, e.g. 0.004
+>>> view.result("sweep/007")                  # recomputed
+>>> view.result("sweep/123")                  # served from the store
+
+Each ``refresh`` perturbs the *current* definition, plans the delta
+against it (so reasons read ``changed``/``upstream``, not ``cold``),
+executes only the invalidation cone, and — on success — adopts the
+perturbed ensemble as the new current definition.  A refresh that fails
+or skips nodes does **not** advance the definition: the view never
+claims to materialize an ensemble whose cone was not fully committed to
+the store, and the same refresh can simply be retried.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Union
+
+from repro.delta.plan import (
+    DeltaPlan,
+    DeltaResult,
+    execute_plan,
+    perturb,
+    plan_delta,
+)
+from repro.ensemble.spec import Ensemble
+from repro.ensemble.store import RunStore
+from repro.errors import SimulationError
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.parallel.backend import Backend
+
+
+class MaterializedView:
+    """An ensemble kept materialized in a store across perturbations."""
+
+    def __init__(self, ensemble: Ensemble, store: RunStore) -> None:
+        self.ensemble = ensemble
+        self.store = store
+        self.plan: Optional[DeltaPlan] = None
+        self.last: Optional[DeltaResult] = None
+        self.refreshes = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def build(
+        self,
+        backend: Union[str, Backend, None] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> DeltaResult:
+        """Materialize the current definition (cold or partially warm)."""
+        return self._run(self.ensemble, backend, retry, faults, base=None)
+
+    def refresh(
+        self,
+        params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        scenarios: Optional[Mapping[str, str]] = None,
+        seeds: Optional[Mapping[str, int]] = None,
+        backend: Union[str, Backend, None] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        name: Optional[str] = None,
+    ) -> DeltaResult:
+        """Apply a perturbation and recompute exactly its cone."""
+        target = perturb(
+            self.ensemble,
+            params=params,
+            scenarios=scenarios,
+            seeds=seeds,
+            name=name or self.ensemble.name,
+        )
+        return self._run(target, backend, retry, faults, base=self.ensemble)
+
+    def _run(
+        self,
+        target: Ensemble,
+        backend: Union[str, Backend, None],
+        retry: Optional[RetryPolicy],
+        faults: Optional[FaultPlan],
+        base: Optional[Ensemble],
+    ) -> DeltaResult:
+        plan = plan_delta(target, self.store, base=base)
+        outcome = execute_plan(
+            plan, self.store, backend=backend, retry=retry, faults=faults
+        )
+        self.plan = plan
+        self.last = outcome
+        self.refreshes += 1
+        if outcome.ok:
+            self.ensemble = target
+        return outcome
+
+    # -- reads ---------------------------------------------------------------
+    @property
+    def fresh(self) -> bool:
+        """Whether every node of the current definition is in the store."""
+        return (
+            self.last is not None
+            and self.last.ok
+            and self.last.plan.ensemble is self.ensemble
+        )
+
+    def result(self, name: str) -> Any:
+        """A node's current result (recomputed or served from the store)."""
+        if self.last is None:
+            raise SimulationError(
+                f"view {self.ensemble.name!r} has never been built; "
+                "call build() first"
+            )
+        return self.last.result(name)
+
+    def render(self) -> str:
+        status = "fresh" if self.fresh else "stale"
+        header = (
+            f"materialized view {self.ensemble.name!r}: {len(self.ensemble)} "
+            f"node(s), {self.refreshes} refresh(es), {status}"
+        )
+        if self.last is None:
+            return header
+        return header + "\n" + self.last.render()
+
+
+__all__ = ["MaterializedView"]

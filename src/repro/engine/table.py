@@ -53,6 +53,7 @@ class Table:
         self.schema = schema
         self._rows: List[Row] = []
         self._version = 0
+        self._reorg_epoch = 0
         if rows is not None:
             self.insert_many(rows)
 
@@ -103,21 +104,34 @@ class Table:
         self._version += 1
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
-        """Insert many rows; returns the number inserted."""
-        count = 0
-        for row in rows:
-            self.insert(row)
-            count += 1
-        return count
+        """Insert many rows atomically; returns the number inserted.
+
+        The whole batch is validated before anything is stored, so a bad
+        row leaves the table (and :attr:`version`) untouched, and the
+        batch bumps :attr:`version` exactly once — version-keyed caches
+        see one invalidation per mutation batch, not one per row.
+        """
+        validated = [self.schema.validate_row(row) for row in rows]
+        if validated:
+            self._rows.extend(validated)
+            self._version += 1
+        return len(validated)
 
     def delete_where(self, predicate: Expression) -> int:
-        """Delete rows satisfying ``predicate``; returns the count removed."""
+        """Delete rows satisfying ``predicate``; returns the count removed.
+
+        :attr:`version` (and :attr:`reorg_epoch`) move only when a row
+        was actually removed — a no-match delete leaves version-keyed
+        caches valid instead of spuriously invalidating them.
+        """
         before = len(self._rows)
-        self._rows = [
-            r for r in self._rows if predicate.evaluate(r) is not True
-        ]
-        self._version += 1
-        return before - len(self._rows)
+        kept = [r for r in self._rows if predicate.evaluate(r) is not True]
+        removed = before - len(kept)
+        if removed:
+            self._rows = kept
+            self._version += 1
+            self._reorg_epoch += 1
+        return removed
 
     def update_where(
         self,
@@ -137,13 +151,17 @@ class Table:
                 }
                 row.update(updates)
                 count += 1
-        self._version += 1
+        if count:
+            self._version += 1
+            self._reorg_epoch += 1
         return count
 
     def truncate(self) -> None:
-        """Remove all rows."""
-        self._rows.clear()
-        self._version += 1
+        """Remove all rows (a no-op — no version bump — when already empty)."""
+        if self._rows:
+            self._rows.clear()
+            self._version += 1
+            self._reorg_epoch += 1
 
     # -- access ------------------------------------------------------------
     def __len__(self) -> int:
@@ -162,8 +180,25 @@ class Table:
         Cache keys (e.g. the morsel executor's scan-batch cache) pair it
         with the row count; edits made directly through :attr:`rows`
         bypass it, which such caches guard against only by length.
+        Batch mutations bump exactly once, and mutating calls that match
+        nothing leave the counter alone — version moves if and only if
+        row data changed.
         """
         return self._version
+
+    @property
+    def reorg_epoch(self) -> int:
+        """Counter bumped by every *non-append* mutation that changed rows.
+
+        ``delete_where``/``update_where``/``truncate`` advance it;
+        ``insert``/``insert_many`` never do.  An observer that recorded
+        ``(reorg_epoch, version, len)`` can therefore prove that every
+        change since its watermark was a pure append — the invariant
+        :class:`repro.delta.AppendLog` builds incremental aggregate
+        maintenance on.  Direct edits through :attr:`rows` bypass it
+        (same caveat as :attr:`version`).
+        """
+        return self._reorg_epoch
 
     @property
     def rows(self) -> List[Row]:

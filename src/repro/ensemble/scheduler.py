@@ -80,8 +80,14 @@ def current_node_context() -> Optional[NodeContext]:
     return getattr(_context, "value", None)
 
 
-class _NodePayload(NamedTuple):
+class NodePayload(NamedTuple):
     """Everything a worker needs to execute one node (picklable).
+
+    Shared execution currency: both :func:`run_ensemble` and the
+    :mod:`repro.delta` cone executor build these, so a node recomputed
+    by a delta plan runs through byte-for-byte the same worker path —
+    same fault scope, same retry semantics, same context — as a node
+    scheduled by a full run.
 
     The scenario callable rides along (resolved at the driver) rather
     than being re-looked-up worker-side: a process-pool worker has not
@@ -103,7 +109,7 @@ class _NodePayload(NamedTuple):
     key: str
 
 
-def _invoke_scenario(payload: _NodePayload) -> Any:
+def _invoke_scenario(payload: NodePayload) -> Any:
     """One attempt of one node (runs inside ``run_with_retry``)."""
     _context.value = NodeContext(payload.key, payload.checkpoint_dir)
     try:
@@ -112,7 +118,7 @@ def _invoke_scenario(payload: _NodePayload) -> Any:
         _context.value = None
 
 
-def _node_call(payload: _NodePayload) -> IsolatedCall:
+def node_call(payload: NodePayload) -> IsolatedCall:
     """The substrate call that runs one node to a terminal state.
 
     :func:`repro.exec.substrate.run_isolated` executes the call under
@@ -301,7 +307,7 @@ def run_ensemble(
         "ensemble.run", ensemble=ensemble.name, nodes=len(ensemble)
     ):
         for wave in ensemble.waves():
-            pending: List[_NodePayload] = []
+            pending: List[NodePayload] = []
             for node in wave:
                 key = keys[node.name]
                 broken = next(
@@ -322,7 +328,7 @@ def run_ensemble(
                     )
                     continue
                 pending.append(
-                    _NodePayload(
+                    NodePayload(
                         name=node.name,
                         scenario=node.spec.scenario,
                         fn=get_scenario(node.spec.scenario),
@@ -341,7 +347,7 @@ def run_ensemble(
             if not pending:
                 continue
             resolved = substrate.dispatch_isolated(
-                [_node_call(payload) for payload in pending],
+                [node_call(payload) for payload in pending],
                 scope="ensemble.dispatch",
             )
             node_timer = observer.timer("ensemble.node_seconds")
@@ -416,10 +422,12 @@ def _emit_ensemble_metrics(
 
 __all__ = [
     "NODE_SCOPE",
+    "NodePayload",
     "EnsembleResult",
     "NodeContext",
     "NodeReport",
     "compute_run_keys",
     "current_node_context",
+    "node_call",
     "run_ensemble",
 ]

@@ -261,6 +261,35 @@ class Ensemble:
             )
         return self.add(name, spec, deps=(base, *extra_deps))
 
+    def with_specs(
+        self,
+        replacements: Mapping[str, ScenarioSpec],
+        name: Optional[str] = None,
+    ) -> "Ensemble":
+        """A copy with some nodes' specs replaced (DAG shape preserved).
+
+        Node names, dependency edges, and insertion order all carry
+        over unchanged, so the copy schedules identically; only the
+        replaced specs (and, through the Merkle fold, every descendant's
+        run key) move.  This is the substitution primitive
+        :func:`repro.delta.perturb` builds what-if timelines from.
+        Unknown replacement names are rejected — a silently ignored
+        perturbation would masquerade as a fully reused plan.
+        """
+        unknown = sorted(set(replacements) - set(self._nodes))
+        if unknown:
+            raise SimulationError(
+                f"with_specs got replacements for unknown node(s) {unknown}"
+            )
+        clone = Ensemble(name or self.name)
+        for node in self._nodes.values():
+            clone.add(
+                node.name,
+                replacements.get(node.name, node.spec),
+                deps=node.deps,
+            )
+        return clone
+
     # -- sweep constructors --------------------------------------------------
     @classmethod
     def from_design(

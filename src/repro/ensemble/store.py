@@ -337,8 +337,13 @@ class RunStore:
         return decode_result(tree, arrays)
 
     # -- maintenance ---------------------------------------------------------
-    def ls(self) -> List[StoreEntry]:
-        """All committed entries, oldest first (mtime, then key)."""
+    def _stat_entries(self) -> List[StoreEntry]:
+        """Every committed entry via ``stat`` only — no ``run.json`` reads.
+
+        Entries come back oldest first (mtime, then key) with the
+        metadata fields (scenario/seed/params) left empty; :meth:`ls`
+        fills them in for the entries it actually returns.
+        """
         entries: List[StoreEntry] = []
         objects = self._objects_dir()
         if not os.path.isdir(objects):
@@ -353,29 +358,66 @@ class RunStore:
                 if not os.path.isfile(run_path):
                     continue
                 size = 0
-                mtime = 0.0
                 for filename in os.listdir(entry_dir):
                     info = os.stat(os.path.join(entry_dir, filename))
                     size += info.st_size
                 mtime = os.stat(run_path).st_mtime
-                scenario, seed, params_json = "", 0, ""
-                try:
-                    with open(run_path, "r", encoding="utf-8") as handle:
-                        document = json.load(handle)
-                    scenario = document.get("scenario", "")
-                    seed = int(document.get("seed", 0))
-                    params_json = document.get("params", "")
-                except (OSError, ValueError):
-                    pass
-                entries.append(
-                    StoreEntry(key, scenario, seed, size, mtime, params_json)
-                )
+                entries.append(StoreEntry(key, "", 0, size, mtime))
         entries.sort(key=lambda entry: (entry.mtime, entry.key))
         return entries
 
+    def _read_meta(self, entry: StoreEntry) -> StoreEntry:
+        """``entry`` with scenario/seed/params filled from ``run.json``."""
+        run_path = os.path.join(self._entry_dir(entry.key), "run.json")
+        scenario, seed, params_json = "", 0, ""
+        try:
+            with open(run_path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            scenario = document.get("scenario", "")
+            seed = int(document.get("seed", 0))
+            params_json = document.get("params", "")
+        except (OSError, ValueError):
+            pass
+        return StoreEntry(
+            entry.key, scenario, seed, entry.size_bytes, entry.mtime,
+            params_json,
+        )
+
+    def ls(
+        self,
+        limit: Optional[int] = None,
+        with_meta: bool = True,
+    ) -> List[StoreEntry]:
+        """Committed entries, oldest first (mtime, then key).
+
+        ``limit`` truncates to the ``limit`` oldest entries *before* any
+        ``run.json`` is opened, so listing a huge store costs one cheap
+        ``stat`` pass plus O(limit) metadata reads rather than O(store).
+        ``with_meta=False`` skips the metadata reads entirely (keys,
+        sizes, and mtimes only).
+        """
+        entries = self._stat_entries()
+        if limit is not None:
+            if limit < 0:
+                raise SimulationError(f"ls limit must be >= 0, got {limit}")
+            entries = entries[:limit]
+        if with_meta:
+            entries = [self._read_meta(entry) for entry in entries]
+        return entries
+
+    def summary(self) -> Tuple[int, int]:
+        """``(entry count, total bytes)`` from the stat pass alone.
+
+        O(entries) directory stats, zero ``run.json`` reads — the cheap
+        header line for ``python -m repro ensemble ls --summary`` and the
+        delta CLI's store banner.
+        """
+        entries = self._stat_entries()
+        return len(entries), sum(entry.size_bytes for entry in entries)
+
     def total_bytes(self) -> int:
         """Total committed entry size in bytes."""
-        return sum(entry.size_bytes for entry in self.ls())
+        return self.summary()[1]
 
     def evict(self, key: str) -> bool:
         """Remove one entry (and its chain checkpoint, if any)."""
@@ -413,7 +455,9 @@ class RunStore:
         wall = time.time()
         now = wall if now is None else now
         evicted: List[str] = []
-        entries = self.ls()
+        # Age/size eviction needs only keys, sizes, and mtimes — skip
+        # the per-entry run.json reads.
+        entries = self.ls(with_meta=False)
         if max_age_seconds is not None:
             for entry in entries:
                 if now - entry.mtime > max_age_seconds:

@@ -31,6 +31,9 @@ from benchmarks.bench_mcdb_tuple_bundles import (
 from benchmarks.bench_parallel_backends import (
     run_experiment as run_parallel_experiment,
 )
+from benchmarks.bench_delta_invalidation import (
+    run_experiment as run_delta_experiment,
+)
 from benchmarks.bench_serve import run_experiment as run_serve_experiment
 
 pytestmark = pytest.mark.bench_smoke
@@ -121,3 +124,14 @@ def test_save_json_writes_self_describing_document(tmp_path, monkeypatch):
         "REPRO_BACKEND", "REPRO_FAULTS", "REPRO_OBS",
         "REPRO_ENGINE_EXECUTION", "REPRO_ENGINE_MORSEL",
     }
+
+
+def test_quick_delta_invalidation():
+    rows, acceptance = run_delta_experiment(QUICK)
+    # Three backends, each recomputing exactly the perturbed cone with
+    # byte-identical reuse against its own copy of the cold store.
+    assert len(rows) == 3
+    assert all(acceptance.values()), acceptance
+    payload = json.loads((RESULTS_DIR / "BENCH_delta.json").read_text())
+    fraction_column = payload["columns"].index("recompute_fraction")
+    assert all(row[fraction_column] < 0.05 for row in payload["rows"])

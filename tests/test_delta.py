@@ -1,0 +1,709 @@
+"""Tests for repro.delta: plans, views, streaming aggregates, and diff.
+
+The acceptance surface of the delta ISSUE: a single-factor perturbation
+of a DoE sweep recomputes exactly its invalidation cone while every
+reused node's ``result_fingerprint`` stays byte-identical to the cold
+run, on all three :mod:`repro.parallel` backends; incremental aggregate
+states after N appends are fingerprint-identical to a full recompute
+and any non-append mutation falls back to a rebuild; timeline diff
+reads only the store and reports array-aware per-node deltas; fault
+indices line up with a full ``run_ensemble`` so ``REPRO_FAULTS`` plans
+target the same logical node either way.
+
+Scenario callables are the module-level ones registered by
+``tests/test_ensemble.py`` (imported here), so they pickle for the
+process backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.delta import (
+    AggSpec,
+    AppendLog,
+    IncrementalAggregate,
+    MaterializedView,
+    delta_run,
+    diff_timelines,
+    execute_plan,
+    perturb,
+    plan_delta,
+    value_deltas,
+)
+from repro.engine.expressions import BinaryOp, Column as Col, Literal
+from repro.engine.schema import Schema
+from repro.engine.table import Table
+from repro.ensemble import (
+    Ensemble,
+    RunStore,
+    ScenarioSpec,
+    result_fingerprint,
+    run_ensemble,
+)
+from repro.errors import SimulationError
+from repro.faults import FaultPlan, injected
+from tests.test_ensemble import BACKENDS, REPO_ROOT, chain
+
+
+def sweep(runs=12, seed=3):
+    return Ensemble.latin_hypercube(
+        "response.surface",
+        factors={"x1": (0.0, 1.0), "x2": (0.0, 1.0)},
+        runs=runs,
+        seed=seed,
+        name="sweep",
+    )
+
+
+def eq(column, value):
+    return BinaryOp("=", Col(column), Literal(value))
+
+
+# ---------------------------------------------------------------------------
+# planning
+# ---------------------------------------------------------------------------
+
+class TestPlanDelta:
+    def test_cold_plan_recomputes_everything(self, tmp_path):
+        plan = plan_delta(chain(3), RunStore(tmp_path))
+        assert plan.nodes_total == 3
+        assert plan.nodes_recomputed == 3 and plan.nodes_reused == 0
+        assert plan.reasons() == {"cold": 3}
+        assert plan.recompute_fraction == 1.0
+
+    def test_warm_plan_reuses_everything(self, tmp_path):
+        store = RunStore(tmp_path)
+        with injected(None):
+            run_ensemble(chain(3), store=store)
+        plan = plan_delta(chain(3), store)
+        assert plan.nodes_recomputed == 0 and plan.nodes_reused == 3
+        assert plan.cone == []
+        assert "3 reused, 0 recomputed (0.0%)" in plan.render()
+
+    def test_perturbation_cone_is_changed_plus_descendants(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = chain(4)
+        with injected(None):
+            run_ensemble(base, store=store)
+        target = perturb(base, params={"n1": {"x": 99}})
+        plan = plan_delta(target, store, base=base)
+        assert plan.nodes["n0"].action == "reuse"
+        assert plan.nodes["n1"].reason == "changed"
+        # Merkle folding: descendants of the change re-key automatically.
+        assert plan.nodes["n2"].reason == "upstream"
+        assert plan.nodes["n3"].reason == "upstream"
+        assert plan.cone == ["n1", "n2", "n3"]
+        assert plan.nodes["n1"].base_key != plan.nodes["n1"].key
+
+    def test_added_and_missing_reasons(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = chain(2)
+        with injected(None):
+            run_ensemble(base, store=store)
+        target = Ensemble("chain")
+        for node in base.topological_order():
+            target.add(node.name, node.spec, deps=node.deps)
+        target.add(
+            "extra",
+            ScenarioSpec("test.double", {"x": 7, "upstream_node": "n1"}),
+            deps=("n1",),
+        )
+        plan = plan_delta(target, store, base=base)
+        assert plan.nodes["extra"].reason == "added"
+        assert plan.nodes_reused == 2
+
+        store.gc(max_total_bytes=0)  # evict: keys unchanged, bytes gone
+        replan = plan_delta(base, store, base=base)
+        assert replan.reasons() == {"missing": 2}
+
+    def test_sweep_single_factor_cone_is_one_node(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = sweep(runs=20)
+        with injected(None):
+            run_ensemble(base, store=store)
+        target = perturb(base, params={"sweep/007": {"x1": 0.42}})
+        plan = plan_delta(target, store, base=base)
+        # Independent DoE rows: the cone is exactly the perturbed node.
+        assert plan.cone == ["sweep/007"]
+        assert plan.recompute_fraction == pytest.approx(1 / 20)
+
+    def test_plan_counters_are_pure_and_nonzero_guarded(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = chain(3)
+        with injected(None):
+            run_ensemble(base, store=store)
+        observer = obs.enable()
+        try:
+            plan_delta(base, store)
+            counters = observer.metrics.snapshot()["values"]["counters"]
+        finally:
+            obs.disable()
+        assert counters["delta.plan"] == 1
+        assert counters["delta.reused"] == 3
+        assert "delta.recomputed" not in counters
+
+
+class TestPerturb:
+    def test_param_scenario_and_seed_perturbations(self):
+        base = chain(2)
+        target = perturb(
+            base,
+            params={"n0": {"x": 5}},
+            scenarios={"n1": "test.flaky"},
+            seeds={"n1": 11},
+        )
+        assert target.node("n0").spec.params["x"] == 5
+        assert target.node("n1").spec.scenario == "test.flaky"
+        assert target.node("n1").spec.seed == 11
+        # base untouched, DAG shape preserved
+        assert base.node("n0").spec.params["x"] == 1
+        assert target.node("n1").deps == base.node("n1").deps
+
+    def test_unknown_node_or_scenario_rejected(self):
+        with pytest.raises(SimulationError):
+            perturb(chain(2), params={"ghost": {"x": 1}})
+        with pytest.raises(SimulationError):
+            perturb(chain(2), scenarios={"n0": "not.registered"})
+
+
+# ---------------------------------------------------------------------------
+# execution (the acceptance bar: byte-identity on every backend)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDeltaExecution:
+    def test_cone_only_recompute_and_reused_fingerprints_identical(
+        self, tmp_path, backend
+    ):
+        store = RunStore(tmp_path)
+        base = sweep(runs=10)
+        with injected(None):
+            cold = run_ensemble(base, store=store, backend=backend)
+            cold.raise_if_failed()
+            target = perturb(base, params={"sweep/004": {"x1": 0.99}})
+            outcome = delta_run(target, store, base=base, backend=backend)
+        outcome.raise_if_failed()
+        assert outcome.nodes_run == 1 and outcome.nodes_reused == 9
+        assert set(outcome.results) == {"sweep/004"}  # only the cone loaded
+        # Every reused node serves the cold run's bytes.
+        cold_prints = cold.fingerprints()
+        for name, report in outcome.reports.items():
+            if report.status == "reused":
+                assert result_fingerprint(outcome.result(name)) == \
+                    cold_prints[name]
+
+    def test_delta_result_matches_full_rerun(self, tmp_path, backend):
+        """The incremental path lands the same bytes a full run would."""
+        store = RunStore(tmp_path)
+        base = chain(4)
+        with injected(None):
+            run_ensemble(base, store=store, backend=backend)
+            target = perturb(base, params={"n1": {"x": 42}})
+            outcome = delta_run(target, store, base=base, backend=backend)
+            full = run_ensemble(target, backend=backend)
+        outcome.raise_if_failed()
+        assert outcome.nodes_run == 3 and outcome.nodes_reused == 1
+        for name in ("n0", "n1", "n2", "n3"):
+            assert result_fingerprint(outcome.result(name)) == \
+                result_fingerprint(full.results[name])
+
+    def test_fault_index_parity_with_full_run(self, tmp_path, backend):
+        """``at=ensemble.node:i`` kills the same node, full or delta."""
+        store = RunStore(tmp_path)
+        base = chain(4)
+        with injected(None):
+            run_ensemble(base, store=store, backend=backend)
+        target = perturb(base, params={"n1": {"x": 42}})
+        # n2 has global topological index 2 in the target ensemble even
+        # though it is only the *second* node the delta path executes.
+        plan = FaultPlan(failures={("ensemble.node", 2): 1})
+        with injected(None):
+            outcome = delta_run(
+                target, store, base=base, backend=backend, faults=plan
+            )
+        outcome.raise_if_failed()
+        assert outcome.reports["n2"].retried
+        assert outcome.reports["n2"].attempts == 2
+        assert not outcome.reports["n1"].retried
+
+    def test_exhausted_cone_node_skips_descendants(self, tmp_path, backend):
+        store = RunStore(tmp_path)
+        base = chain(4)
+        with injected(None):
+            run_ensemble(base, store=store, backend=backend)
+        target = perturb(base, scenarios={"n1": "test.always_fails"})
+        with injected(None):
+            outcome = delta_run(target, store, base=base, backend=backend)
+        assert not outcome.ok
+        assert outcome.reports["n0"].status == "reused"
+        assert outcome.reports["n1"].status == "failed"
+        assert outcome.reports["n2"].status == "skipped"
+        assert outcome.reports["n2"].blocked_on == "n1"
+        assert outcome.reports["n3"].status == "skipped"
+        with pytest.raises(SimulationError, match="no stored result"):
+            outcome.result("n1")
+
+
+class TestExecutionLaziness:
+    def test_unconsumed_reused_nodes_are_never_loaded(self, tmp_path):
+        """delta.loads counts only reused results a cone node consumed."""
+        store = RunStore(tmp_path)
+        base = sweep(runs=8)  # independent nodes: no cone consumes anything
+        with injected(None):
+            run_ensemble(base, store=store)
+        target = perturb(base, params={"sweep/002": {"x2": 0.8}})
+        observer = obs.enable()
+        try:
+            with injected(None):
+                outcome = delta_run(target, store, base=base)
+            counters = observer.metrics.snapshot()["values"]["counters"]
+        finally:
+            obs.disable()
+        outcome.raise_if_failed()
+        assert "delta.loads" not in counters  # nothing deserialized
+        assert counters["delta.nodes_run"] == 1
+
+    def test_consumed_reused_upstream_is_loaded_once(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = chain(3)
+        with injected(None):
+            run_ensemble(base, store=store)
+        target = perturb(base, params={"n1": {"x": 9}})
+        observer = obs.enable()
+        try:
+            with injected(None):
+                outcome = delta_run(target, store, base=base)
+            counters = observer.metrics.snapshot()["values"]["counters"]
+        finally:
+            obs.disable()
+        outcome.raise_if_failed()
+        # n1 consumes reused n0 from the store; n2 consumes computed n1.
+        assert counters["delta.loads"] == 1
+
+    def test_vanished_reused_upstream_is_an_explicit_error(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = chain(2)
+        with injected(None):
+            run_ensemble(base, store=store)
+        target = perturb(base, params={"n1": {"x": 9}})
+        plan = plan_delta(target, store, base=base)
+        store.gc(max_total_bytes=0)  # mutate the store behind the plan
+        with injected(None), pytest.raises(SimulationError, match="vanished"):
+            execute_plan(plan, store)
+
+
+# ---------------------------------------------------------------------------
+# materialized views
+# ---------------------------------------------------------------------------
+
+class TestMaterializedView:
+    def test_build_refresh_and_reads(self, tmp_path):
+        view = MaterializedView(sweep(runs=6), RunStore(tmp_path))
+        with injected(None):
+            cold = view.build()
+            assert cold.nodes_run == 6 and view.fresh
+            refreshed = view.refresh(params={"sweep/003": {"x1": 0.77}})
+        assert refreshed.nodes_run == 1 and refreshed.nodes_reused == 5
+        assert view.refreshes == 2 and view.fresh
+        # The adopted definition carries the perturbation forward.
+        assert view.ensemble.node("sweep/003").spec.params["x1"] == 0.77
+        assert view.plan.reasons() == {"changed": 1}
+        assert isinstance(view.result("sweep/000"), dict)  # store-served
+        assert "fresh" in view.render()
+
+    def test_failed_refresh_does_not_advance_definition(self, tmp_path):
+        view = MaterializedView(chain(3), RunStore(tmp_path))
+        with injected(None):
+            view.build()
+            before = view.ensemble
+            outcome = view.refresh(scenarios={"n1": "test.always_fails"})
+        assert not outcome.ok
+        assert view.ensemble is before and not view.fresh
+        with injected(None):
+            retried = view.refresh(params={"n1": {"x": 2}})
+        assert retried.ok and view.fresh
+
+    def test_read_before_build_is_an_error(self, tmp_path):
+        view = MaterializedView(chain(2), RunStore(tmp_path))
+        with pytest.raises(SimulationError, match="never been built"):
+            view.result("n0")
+
+
+# ---------------------------------------------------------------------------
+# streaming appends
+# ---------------------------------------------------------------------------
+
+class TestAppendLog:
+    def make_table(self, rows=()):
+        table = Table("t", Schema.of(g=str, v=float))
+        table.insert_many(rows)
+        return table
+
+    def test_noop_append_and_from_start(self):
+        table = self.make_table([{"g": "a", "v": 1.0}])
+        log = AppendLog(table)
+        assert log.sync().kind == "noop"
+        table.insert({"g": "b", "v": 2.0})
+        table.insert_many([{"g": "c", "v": 3.0}])
+        delta = log.sync()
+        assert delta == ("append", 1, 2)
+        assert log.sync().kind == "noop"
+
+        streamed = AppendLog(table, from_start=True)
+        assert streamed.sync() == ("append", 0, 3)
+
+    def test_from_start_on_empty_table_is_noop(self):
+        log = AppendLog(self.make_table())
+        assert log.sync().kind == "noop"
+
+    def test_delete_update_truncate_force_rebase(self):
+        for mutate in (
+            lambda t: t.delete_where(eq("g", "a")),
+            lambda t: t.update_where(eq("g", "a"), {"v": Literal(9.0)}),
+            lambda t: t.truncate(),
+        ):
+            table = self.make_table([{"g": "a", "v": 1.0}])
+            log = AppendLog(table)
+            mutate(table)
+            assert log.sync().kind == "rebase"
+            assert log.sync().kind == "noop"
+
+    def test_direct_rows_surgery_is_detected(self):
+        table = self.make_table([{"g": "a", "v": 1.0}, {"g": "b", "v": 2.0}])
+        log = AppendLog(table)
+        # A shrink with no epoch bump (hostile direct mutation).
+        table._rows.pop()
+        assert log.sync().kind == "rebase"
+        # Version moved while the row count stood still.
+        table._version += 1
+        assert log.sync().kind == "rebase"
+
+    def test_poll_does_not_advance(self):
+        table = self.make_table([{"g": "a", "v": 1.0}])
+        log = AppendLog(table)
+        table.insert({"g": "b", "v": 2.0})
+        assert log.poll().kind == "append"
+        assert log.poll().kind == "append"  # unchanged watermark
+        assert log.sync().kind == "append"
+        assert log.poll().kind == "noop"
+
+
+class TestIncrementalAggregate:
+    def make(self, table):
+        return IncrementalAggregate(
+            table,
+            group_by=["g"],
+            aggregates=[
+                ("n", "count", None),
+                ("n_v", "count", "v"),
+                ("total", "sum", "v"),
+                ("lo", "min", "v"),
+                ("hi", "max", "v"),
+                ("mean", "avg", "v"),
+            ],
+        )
+
+    def test_appends_match_full_recompute_byte_for_byte(self):
+        rng = np.random.default_rng(17)
+        table = Table("t", Schema.of(g=str, v=float))
+        view = self.make(table)
+        for batch in range(8):
+            rows = [
+                {
+                    "g": f"g{int(rng.integers(4))}",
+                    "v": None if rng.random() < 0.2
+                    else float(rng.normal()),
+                }
+                for _ in range(25)
+            ]
+            table.insert_many(rows)
+            report = view.refresh()
+            assert report.kind == "append" and report.rows_folded == 25
+            # The standing oracle: incremental state == full recompute.
+            assert view.fingerprint() == result_fingerprint(view.rebuilt())
+        assert view.refresh().kind == "noop"
+
+    def test_null_semantics(self):
+        table = Table("t", Schema.of(g=str, v=float))
+        table.insert_many(
+            [{"g": "a", "v": None}, {"g": "a", "v": 3.0}, {"g": "b", "v": None}]
+        )
+        view = self.make(table)
+        view.refresh()
+        rows = {row["g"]: row for row in view.snapshot_rows()}
+        assert rows["a"] == {
+            "g": "a", "n": 2, "n_v": 1, "total": 3.0,
+            "lo": 3.0, "hi": 3.0, "mean": 3.0,
+        }
+        # An all-null group aggregates to SQL nulls but still counts rows.
+        assert rows["b"] == {
+            "g": "b", "n": 1, "n_v": 0, "total": None,
+            "lo": None, "hi": None, "mean": None,
+        }
+
+    def test_non_append_mutations_fall_back_to_rebuild(self):
+        table = Table("t", Schema.of(g=str, v=float))
+        table.insert_many(
+            [{"g": "a", "v": 1.0}, {"g": "b", "v": 2.0}, {"g": "a", "v": 3.0}]
+        )
+        view = self.make(table)
+        view.refresh()
+        table.delete_where(eq("g", "b"))
+        report = view.refresh()
+        assert report.kind == "rebase" and report.groups == 1
+        assert view.fingerprint() == result_fingerprint(view.rebuilt())
+
+        table.update_where(eq("g", "a"), {"v": Literal(7.0)})
+        assert view.refresh().kind == "rebase"
+        assert view.snapshot_rows()[0]["total"] == 14.0
+
+        table.truncate()
+        assert view.refresh().kind == "rebase"
+        assert view.snapshot_rows() == []
+        assert view.fingerprint() == result_fingerprint(view.rebuilt())
+
+    def test_group_order_is_first_seen_and_refresh_invariant(self):
+        table = Table("t", Schema.of(g=str, v=float))
+        table.insert_many([{"g": "z", "v": 1.0}, {"g": "a", "v": 2.0}])
+        incremental = self.make(table)
+        incremental.refresh()
+        table.insert_many([{"g": "m", "v": 3.0}, {"g": "z", "v": 4.0}])
+        incremental.refresh()
+        # One-shot build over the final table sees the same row order.
+        assert [r["g"] for r in incremental.snapshot_rows()] == ["z", "a", "m"]
+        assert incremental.fingerprint() == \
+            result_fingerprint(incremental.rebuilt())
+
+    def test_spec_validation(self):
+        table = Table("t", Schema.of(g=str, v=float))
+        with pytest.raises(SimulationError, match="unknown aggregate"):
+            AggSpec("x", "median", "v")
+        with pytest.raises(SimulationError, match="only count may omit"):
+            AggSpec("x", "sum", None)
+        with pytest.raises(SimulationError, match="at least one"):
+            IncrementalAggregate(table, ["g"], [])
+        with pytest.raises(SimulationError, match="unique and distinct"):
+            IncrementalAggregate(
+                table, ["g"], [("g", "count", None)]
+            )
+        with pytest.raises(Exception, match="no column"):
+            IncrementalAggregate(table, ["ghost"], [("n", "count", None)])
+
+    def test_refresh_counters(self):
+        table = Table("t", Schema.of(g=str, v=float))
+        table.insert_many([{"g": "a", "v": 1.0}])
+        view = self.make(table)
+        observer = obs.enable()
+        try:
+            view.refresh()  # streams the pre-existing row: append of 1
+            table.truncate()
+            view.refresh()  # rebase
+            counters = observer.metrics.snapshot()["values"]["counters"]
+        finally:
+            obs.disable()
+        assert counters["delta.agg.appended_rows"] == 1
+        assert counters["delta.agg.rebases"] == 1
+
+
+# ---------------------------------------------------------------------------
+# timeline diff
+# ---------------------------------------------------------------------------
+
+class TestTimelineDiff:
+    def test_identical_timelines(self, tmp_path):
+        store = RunStore(tmp_path)
+        with injected(None):
+            run_ensemble(chain(3), store=store)
+        report = diff_timelines(store, chain(3), chain(3))
+        assert report.identical
+        assert report.summary() == {"same": 3}
+        assert [n.status for n in report.nodes] == ["same"] * 3
+
+    def test_branch_diff_statuses_and_deltas(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = chain(3)
+        target = perturb(base, params={"n1": {"x": 50}})
+        with injected(None):
+            run_ensemble(base, store=store)
+            run_ensemble(target, store=store)
+        report = diff_timelines(store, base, target)
+        assert not report.identical
+        assert report.summary() == {"changed": 2, "same": 1}
+        by_name = {n.name: n for n in report.nodes}
+        assert by_name["n0"].status == "same"
+        changed = by_name["n1"]
+        assert changed.fingerprint_a != changed.fingerprint_b
+        paths = {d.path: d for d in changed.deltas}
+        assert paths["$.value"].a == 8 and paths["$.value"].b == 104
+        assert "n1" in report.render() and "n0" not in report.render()
+
+    def test_node_set_divergence(self, tmp_path):
+        store = RunStore(tmp_path)
+        a = chain(3)
+        b = chain(2)
+        b.add(
+            "side",
+            ScenarioSpec("test.flaky", {"x": 1}),
+        )
+        with injected(None):
+            run_ensemble(a, store=store)
+            run_ensemble(b, store=store)
+        report = diff_timelines(store, a, b)
+        by_name = {n.name: n for n in report.nodes}
+        assert by_name["n2"].status == "only_in_a"
+        assert by_name["side"].status == "only_in_b"
+        # b-only nodes come after a's topological order.
+        assert [n.name for n in report.nodes][-1] == "side"
+
+    def test_unstored_branch_reports_instead_of_running(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = chain(2)
+        with injected(None):
+            run_ensemble(base, store=store)
+        never_ran = perturb(base, params={"n0": {"x": 77}})
+        report = diff_timelines(store, base, never_ran)
+        assert report.summary() == {"unstored": 2}
+        node = report.nodes[0]
+        assert node.fingerprint_a is not None  # side a IS stored
+        assert node.fingerprint_b is None
+
+    def test_array_aware_deltas(self, tmp_path):
+        store = RunStore(tmp_path)
+        a = Ensemble("arrays")
+        a.add("node", ScenarioSpec("test.array", {"n": 16}, seed=1))
+        b = perturb(a, seeds={"node": 2})
+        with injected(None):
+            run_ensemble(a, store=store)
+            run_ensemble(b, store=store)
+        report = diff_timelines(store, a, b)
+        delta = {d.path: d for d in report.nodes[0].deltas}["$.curve"]
+        assert delta.kind == "array"
+        assert 0 < delta.differing <= 16
+        assert delta.max_abs_delta > 0
+        assert "element(s) differ" in delta.render()
+
+    def test_value_deltas_shape_nan_and_structure(self):
+        x = np.arange(4.0)
+        y = x.copy(); y[1] = 9.0
+        deltas = value_deltas({"a": x}, {"a": y})
+        assert deltas[0].differing == 1
+        assert deltas[0].max_abs_delta == pytest.approx(8.0)
+        # NaN == NaN for diff purposes (byte-identical payloads).
+        nan = np.array([np.nan, 1.0])
+        assert value_deltas({"a": nan}, {"a": nan.copy()}) == []
+        shape = value_deltas(np.zeros(3), np.zeros((3, 1)))
+        assert shape[0].kind == "shape"
+        missing = value_deltas({"k": 1}, {})
+        assert missing[0].kind == "missing"
+        typed = value_deltas({"k": 1}, {"k": np.zeros(2)})
+        assert typed[0].kind == "type"
+        lists = value_deltas([1, 2], [1, 3, 4])
+        assert any(d.kind == "value" for d in lists)
+
+    def test_leaf_delta_cap_records_overflow(self):
+        a = {f"k{i}": i for i in range(10)}
+        b = {f"k{i}": i + 1 for i in range(10)}
+        deltas = value_deltas(a, b, limit=4)
+        assert len(deltas) == 5  # limit + 1 sentinel for "more existed"
+
+    def test_as_dict_round_trips_through_json(self, tmp_path):
+        store = RunStore(tmp_path)
+        a = Ensemble("arrays")
+        a.add("node", ScenarioSpec("test.array", {"n": 8}, seed=1))
+        b = perturb(a, seeds={"node": 2})
+        with injected(None):
+            run_ensemble(a, store=store)
+            run_ensemble(b, store=store)
+        report = diff_timelines(store, a, b)
+        document = json.loads(json.dumps(report.as_dict(), default=str))
+        assert document["summary"] == {"changed": 1}
+        assert document["nodes"][0]["deltas"]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _run_cli(*args, env_extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_FAULTS", None)
+    env.update(env_extra or {})
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=180,
+    )
+
+
+class TestDeltaCli:
+    def test_plan_execute_diff_cycle(self, tmp_path):
+        store = str(tmp_path / "store")
+        warm = _run_cli(
+            "ensemble", "run", "--demo", "sweep", "--quick", "--store", store
+        )
+        assert warm.returncode == 0, warm.stderr
+
+        planned = _run_cli(
+            "delta", "plan", "--demo", "sweep", "--quick", "--store", store,
+            "--set", "response-sweep/002:x1=0.9",
+        )
+        assert planned.returncode == 0, planned.stderr
+        assert "1 recomputed" in planned.stdout
+        assert "changed" in planned.stdout
+
+        executed = _run_cli(
+            "delta", "plan", "--demo", "sweep", "--quick", "--store", store,
+            "--set", "response-sweep/002:x1=0.9", "--execute",
+        )
+        assert executed.returncode == 0, executed.stderr
+        assert "4 reused, 1 recomputed" in executed.stdout
+
+        diffed = _run_cli(
+            "delta", "diff", "--demo", "sweep", "--quick", "--store", store,
+            "--set-b", "response-sweep/002:x1=0.9", "--json",
+        )
+        assert diffed.returncode == 1  # timelines differ
+        document = json.loads(diffed.stdout)
+        assert document["summary"]["changed"] == 1
+        assert document["summary"]["same"] == 4
+
+        same = _run_cli(
+            "delta", "diff", "--demo", "sweep", "--quick", "--store", store
+        )
+        assert same.returncode == 0 and "5 same" in same.stdout
+
+    def test_warm_plan_is_all_reuse(self, tmp_path):
+        store = str(tmp_path / "store")
+        _run_cli(
+            "ensemble", "run", "--demo", "sweep", "--quick", "--store", store
+        )
+        planned = _run_cli(
+            "delta", "plan", "--demo", "sweep", "--quick", "--store", store
+        )
+        assert planned.returncode == 0, planned.stderr
+        assert "5 reused, 0 recomputed (0.0%)" in planned.stdout
+
+    def test_bad_set_syntax_is_a_usage_error(self, tmp_path):
+        result = _run_cli(
+            "delta", "plan", "--quick",
+            "--store", str(tmp_path / "s"), "--set", "garbage",
+        )
+        assert result.returncode != 0
+        assert "NODE:KEY=VALUE" in result.stderr
+
+    def test_help_epilog_lists_delta(self):
+        result = _run_cli("--help")
+        assert result.returncode == 0
+        assert "delta" in result.stdout

@@ -132,3 +132,67 @@ class TestTable:
         t = Table.from_columns("t", {"x": [1, 2]})
         t.truncate()
         assert len(t) == 0
+
+
+class TestVersionSemantics:
+    """Pin the version/reorg_epoch contract the delta layer builds on.
+
+    ``version`` moves exactly once per mutation that changed rows (a
+    no-op mutation must NOT move it — version-keyed caches stay valid);
+    ``reorg_epoch`` moves only on the non-append mutations, which is
+    the signal :class:`repro.delta.AppendLog` uses to prove pure-append
+    intervals.
+    """
+
+    def make(self):
+        return Table.from_columns("t", {"x": [1, 2, 3]})
+
+    def test_insert_many_bumps_once_per_batch(self):
+        t = self.make()
+        v = t.version
+        t.insert_many([{"x": 4}, {"x": 5}, {"x": 6}])
+        assert t.version == v + 1
+        assert t.reorg_epoch == 0
+
+    def test_insert_many_empty_batch_is_a_noop(self):
+        t = self.make()
+        v = t.version
+        assert t.insert_many([]) == 0
+        assert t.version == v
+
+    def test_insert_many_is_atomic_on_bad_row(self):
+        t = self.make()
+        v = t.version
+        with pytest.raises(SchemaError):
+            t.insert_many([{"x": 7}, {"zz": 1}])
+        assert len(t) == 3 and t.version == v
+
+    def test_delete_where_bumps_only_on_removal(self):
+        t = self.make()
+        v, e = t.version, t.reorg_epoch
+        assert t.delete_where(lit(False)) == 0
+        assert t.version == v and t.reorg_epoch == e
+        assert t.delete_where(col("x") == lit(2)) == 1
+        assert t.version == v + 1 and t.reorg_epoch == e + 1
+
+    def test_update_where_bumps_only_on_match(self):
+        t = self.make()
+        v, e = t.version, t.reorg_epoch
+        assert t.update_where(lit(False), {"x": lit(0)}) == 0
+        assert t.version == v and t.reorg_epoch == e
+        assert t.update_where(col("x") == lit(1), {"x": lit(9)}) == 1
+        assert t.version == v + 1 and t.reorg_epoch == e + 1
+
+    def test_truncate_bumps_only_when_nonempty(self):
+        t = self.make()
+        v, e = t.version, t.reorg_epoch
+        t.truncate()
+        assert t.version == v + 1 and t.reorg_epoch == e + 1
+        t.truncate()  # already empty: no-op
+        assert t.version == v + 1 and t.reorg_epoch == e + 1
+
+    def test_single_insert_bumps_version_not_epoch(self):
+        t = self.make()
+        v = t.version
+        t.insert({"x": 10})
+        assert t.version == v + 1 and t.reorg_epoch == 0

@@ -622,3 +622,117 @@ def test_run_json_on_disk_is_canonical(tmp_path):
     assert document["key"] == key
     assert document["params"] == '{"a":1,"b":2}'
     assert document["seed"] == 4
+
+
+class TestNestedBranching:
+    def test_branch_of_branch_shares_each_prefix_level(self, tmp_path):
+        """A 3-level timeline tree reuses every shared prefix level."""
+        store = RunStore(tmp_path)
+
+        def tree(with_grandchild=False):
+            ensemble = Ensemble("tree")
+            ensemble.add("root", ScenarioSpec("test.double", {"x": 1}, seed=5))
+            ensemble.branch(
+                "root", "child",
+                ScenarioSpec("test.double", {"x": 10, "upstream_node": "root"}),
+            )
+            if with_grandchild:
+                ensemble.branch(
+                    "child", "grandchild",
+                    ScenarioSpec(
+                        "test.double", {"x": 100, "upstream_node": "child"}
+                    ),
+                )
+            return ensemble
+
+        with injected(None):
+            first = run_ensemble(tree(), store=store)
+            second = run_ensemble(tree(with_grandchild=True), store=store)
+        assert first.ok and second.ok
+        # Levels 1 and 2 are shared prefixes; only level 3 executes.
+        assert second.reports["root"].status == "cached"
+        assert second.reports["child"].status == "cached"
+        assert second.reports["grandchild"].status == "run"
+        assert second.nodes_run == 1
+        # Each level folds its whole ancestry: values chain through.
+        assert second.results["grandchild"]["value"] == \
+            (100 + (10 + 1 * 2) * 2) * 2
+
+    def test_sibling_branches_rekey_independently(self, tmp_path):
+        """Perturbing one grandchild leaves its sibling's key untouched."""
+        ensemble = Ensemble("tree")
+        ensemble.add("root", ScenarioSpec("test.double", {"x": 1}, seed=5))
+        ensemble.branch(
+            "root", "child",
+            ScenarioSpec("test.double", {"x": 10, "upstream_node": "root"}),
+        )
+        for leaf, x in (("ga", 100), ("gb", 200)):
+            ensemble.branch(
+                "child", leaf,
+                ScenarioSpec("test.double", {"x": x, "upstream_node": "child"}),
+            )
+        before = compute_run_keys(ensemble)
+        moved = ensemble.with_specs(
+            {"ga": ScenarioSpec(
+                "test.double", {"x": 101, "upstream_node": "child"}
+            )}
+        )
+        after = compute_run_keys(moved)
+        assert after["ga"] != before["ga"]
+        assert after["gb"] == before["gb"]
+        assert after["root"] == before["root"]
+
+
+class TestStoreListing:
+    def fill(self, tmp_path, count=5):
+        store = RunStore(tmp_path)
+        for i in range(count):
+            spec = ScenarioSpec("test.double", {"x": i}, seed=i)
+            key = run_key(
+                scenario_qualname("test.double"), spec.params, spec.seed
+            )
+            store.put(key, {"v": i}, scenario=spec.scenario,
+                      params=spec.params, seed=spec.seed)
+        return store
+
+    def test_ls_limit_truncates_before_metadata_reads(self, tmp_path):
+        store = self.fill(tmp_path)
+        limited = store.ls(limit=2)
+        assert len(limited) == 2
+        assert [e.key for e in limited] == [e.key for e in store.ls()[:2]]
+        assert all(e.scenario == "test.double" for e in limited)
+
+    def test_ls_without_meta_skips_run_json(self, tmp_path):
+        store = self.fill(tmp_path, count=2)
+        bare = store.ls(with_meta=False)
+        assert all(e.scenario == "" and e.seed == 0 for e in bare)
+        assert all(e.size_bytes > 0 for e in bare)
+
+    def test_ls_negative_limit_rejected(self, tmp_path):
+        store = self.fill(tmp_path, count=1)
+        with pytest.raises(SimulationError):
+            store.ls(limit=-1)
+
+    def test_summary_matches_full_listing(self, tmp_path):
+        store = self.fill(tmp_path)
+        count, total = store.summary()
+        entries = store.ls()
+        assert count == len(entries) == 5
+        assert total == sum(e.size_bytes for e in entries)
+        assert store.total_bytes() == total
+
+    def test_cli_ls_limit_and_summary(self, tmp_path):
+        store = str(tmp_path / "store")
+        _run_cli(
+            "ensemble", "run", "--demo", "sweep", "--quick", "--store", store
+        )
+        limited = _run_cli("ensemble", "ls", "--store", store, "--limit", "2")
+        assert limited.returncode == 0, limited.stderr
+        body = [l for l in limited.stdout.splitlines() if l.startswith("  ")]
+        assert len(body) == 3  # 2 entries + the "... more" footer
+        assert "more; raise --limit" in body[-1]
+
+        summary = _run_cli("ensemble", "ls", "--store", store, "--summary")
+        assert summary.returncode == 0
+        assert "5 run(s)" in summary.stdout
+        assert "response.surface" not in summary.stdout
