@@ -226,10 +226,20 @@ def tour(
 
 # -- ensemble ---------------------------------------------------------------
 
-def _open_store(path: str):
-    from repro.ensemble import RunStore
+def _open_store(path: str, shards=None):
+    from repro.ensemble import open_store
 
-    return RunStore(path)
+    return open_store(path, shards=shards)
+
+
+def _add_store_args(parser, default_store, **store_kwargs):
+    parser.add_argument("--store", default=default_store, **store_kwargs)
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="open the store with N shard roots (default: "
+        "$REPRO_STORE_SHARDS, else auto-detect an existing sharded "
+        "layout, else the flat layout; 0 forces flat)",
+    )
 
 
 def ensemble_run(args) -> int:
@@ -239,7 +249,9 @@ def ensemble_run(args) -> int:
     builder = DEMO_ENSEMBLES[args.demo]
     ensemble = builder(seed=args.seed, quick=args.quick)
     result = run_ensemble(
-        ensemble, store=_open_store(args.store), backend=args.backend
+        ensemble,
+        store=_open_store(args.store, shards=args.shards),
+        backend=args.backend,
     )
     print(result.render())
     return 0 if result.ok else 1
@@ -254,7 +266,7 @@ def _store_header(store) -> str:
 
 
 def ensemble_ls(args) -> int:
-    store = _open_store(args.store)
+    store = _open_store(args.store, shards=args.shards)
     print(_store_header(store))
     if args.summary:
         return 0
@@ -269,7 +281,7 @@ def ensemble_ls(args) -> int:
 
 
 def ensemble_gc(args) -> int:
-    store = _open_store(args.store)
+    store = _open_store(args.store, shards=args.shards)
     max_age = args.max_age_days * 86400.0 if args.max_age_days else None
     evicted = store.gc(
         max_age_seconds=max_age, max_total_bytes=args.max_bytes
@@ -317,7 +329,7 @@ def _demo_ensemble(demo: str, seed: int, quick: bool):
 def delta_plan_cmd(args) -> int:
     from repro.delta import execute_plan, perturb, plan_delta
 
-    store = _open_store(args.store)
+    store = _open_store(args.store, shards=args.shards)
     base = _demo_ensemble(args.demo, args.seed, args.quick)
     updates = _parse_sets(args.set)
     if updates:
@@ -339,7 +351,7 @@ def delta_diff_cmd(args) -> int:
 
     from repro.delta import diff_timelines, perturb
 
-    store = _open_store(args.store)
+    store = _open_store(args.store, shards=args.shards)
 
     def timeline(seed, sets, suffix):
         ensemble = _demo_ensemble(args.demo, seed, args.quick)
@@ -384,7 +396,7 @@ def serve_cmd(args) -> int:
 
     store = None
     if args.store:
-        store = _open_store(args.store)
+        store = _open_store(args.store, shards=args.shards)
 
     config = ServeConfig(
         host=args.host,
@@ -495,8 +507,8 @@ def main(argv=None) -> int:
         default="epidemic",
         help="which demo ensemble to run (default: epidemic branching)",
     )
-    run_cmd.add_argument(
-        "--store", default=default_store,
+    _add_store_args(
+        run_cmd, default_store,
         help=f"run-store directory (default: ${STORE_ENV_VAR} "
         f"or {DEFAULT_STORE})",
     )
@@ -512,7 +524,7 @@ def main(argv=None) -> int:
     run_cmd.set_defaults(handler=ensemble_run)
 
     ls_cmd = actions.add_parser("ls", help="list stored runs, oldest first")
-    ls_cmd.add_argument("--store", default=default_store)
+    _add_store_args(ls_cmd, default_store)
     ls_cmd.add_argument(
         "--limit", type=int, default=None, metavar="N",
         help="show at most N runs (metadata is read only for those N)",
@@ -526,7 +538,7 @@ def main(argv=None) -> int:
     gc_cmd = actions.add_parser(
         "gc", help="evict stored runs by age and/or total size"
     )
-    gc_cmd.add_argument("--store", default=default_store)
+    _add_store_args(gc_cmd, default_store)
     gc_cmd.add_argument(
         "--max-age-days", type=float, default=None,
         help="evict entries older than this many days",
@@ -554,7 +566,7 @@ def main(argv=None) -> int:
         default="sweep",
         help="base demo ensemble (default: sweep — the DoE surface)",
     )
-    plan_cmd.add_argument("--store", default=default_store)
+    _add_store_args(plan_cmd, default_store)
     plan_cmd.add_argument("--seed", type=int, default=0)
     plan_cmd.add_argument(
         "--quick", action="store_true", help="shrink problem sizes"
@@ -584,7 +596,7 @@ def main(argv=None) -> int:
         "--demo", choices=("composite", "epidemic", "sweep"),
         default="sweep",
     )
-    diff_cmd.add_argument("--store", default=default_store)
+    _add_store_args(diff_cmd, default_store)
     diff_cmd.add_argument("--seed-a", type=int, default=0)
     diff_cmd.add_argument("--seed-b", type=int, default=0)
     diff_cmd.add_argument(
@@ -621,8 +633,8 @@ def main(argv=None) -> int:
         "--csv", action="append", metavar="NAME=PATH",
         help="load a CSV file as shared table NAME (repeatable)",
     )
-    serve_parser.add_argument(
-        "--store", default=None,
+    _add_store_args(
+        serve_parser, None,
         help="run-store directory for ensemble requests "
         "(default: no persistent store)",
     )

@@ -275,6 +275,22 @@ def _diff_arrays(
 
 # -- the diff operator -------------------------------------------------------
 
+def _load_stored(store: RunStore, key: str) -> Optional[Dict[str, Any]]:
+    """Load one stored result, treating racing eviction as a miss.
+
+    ``store.get`` returns ``None`` for an absent entry, but a ``gc``
+    running concurrently can evict *between* the metadata read and the
+    array load — surfacing as ``FileNotFoundError``/``KeyError`` from
+    the half-deleted entry.  An evicted entry is the documented
+    ``unstored`` finding, not an error, so both outcomes collapse to
+    ``None`` here and the diff proceeds node by node.
+    """
+    try:
+        return store.get(key)
+    except (KeyError, OSError):
+        return None
+
+
 def diff_timelines(
     store: RunStore,
     ensemble_a: Ensemble,
@@ -325,8 +341,8 @@ def diff_timelines(
                     NodeDiff(name, "same", key_a=key_a, key_b=key_b)
                 )
                 continue
-            result_a = store.get(key_a)
-            result_b = store.get(key_b)
+            result_a = _load_stored(store, key_a)
+            result_b = _load_stored(store, key_b)
             if result_a is None or result_b is None:
                 report.nodes.append(
                     NodeDiff(

@@ -368,7 +368,10 @@ def execute_plan(
         DEFAULT_RETRY_POLICY if fplan is not None else NO_RETRY
     )
     ensemble = plan.ensemble
-    substrate = Substrate(backend)
+    # Constructed lazily at the first non-empty wave: an all-reused plan
+    # (the warm-cache fast path) must not pay backend setup — on the
+    # process backend that is a whole worker pool — just to run nothing.
+    substrate: Optional[Substrate] = None
     observer = get_observer()
     indices = {
         node.name: i for i, node in enumerate(ensemble.topological_order())
@@ -441,6 +444,8 @@ def execute_plan(
                 )
             if not pending:
                 continue
+            if substrate is None:
+                substrate = Substrate(backend)
             resolved = substrate.dispatch_isolated(
                 [node_call(payload) for payload in pending],
                 scope="delta.dispatch",

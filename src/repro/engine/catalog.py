@@ -238,7 +238,12 @@ class Database(TableProvider):
         def schema_lookup(name: str) -> Sequence[str]:
             return self.table(name).schema.names
 
-        return optimize(plan, schema_lookup, self._statistics.get)
+        return optimize(
+            plan,
+            schema_lookup,
+            self._statistics.get,
+            partition_lookup=self.partitioning,
+        )
 
     def explain(self, statement: str) -> str:
         """Render the (optimized) plan of a SELECT statement.

@@ -683,10 +683,37 @@ class SortMergeJoinExec:
         return pair_left[emit], pair_right[emit]
 
 
+class CoPartitionedHashJoinExec(HashJoinExec):
+    """Hash equi-join that needs no shuffle: shard-i joins shard-i.
+
+    Selected by the optimizer only when *both* join inputs are bare
+    scans of tables ``db.partition_table``-registered on the join key
+    with compatible partitioning (same scheme, count, and — for range —
+    boundaries).  Because partition assignment is a pure function of
+    the key, every joinable pair of rows already co-locates: the
+    partitioned executor slices both sides' jointly-factorized key
+    codes per partition, probes shard-i-against-shard-i through the
+    substrate, maps local pair indices back through each partition's
+    original-position arrays, and restores the global hash emission
+    order with ``lexsort((pair_right, pair_left))`` — hash emits pairs
+    sorted by exactly that, so the result is byte-identical to
+    :class:`HashJoinExec` while moving zero key bytes between
+    partitions (the avoided volume is recorded on
+    :class:`~repro.engine.partition.PartitionRun`).
+
+    The pair computation itself is inherited unchanged; on a
+    non-partitioned executor this algorithm degrades to a plain global
+    hash join, so a plan carrying it stays valid everywhere.
+    """
+
+    name = "co_partitioned"
+
+
 #: Physical join algorithm registry, keyed by ``lp.Join.algorithm``.
 JOIN_EXECS = {
     HashJoinExec.name: HashJoinExec,
     SortMergeJoinExec.name: SortMergeJoinExec,
+    CoPartitionedHashJoinExec.name: CoPartitionedHashJoinExec,
 }
 
 
@@ -805,6 +832,18 @@ class ColumnarExecutor(Executor):
     def _join_batch(self, node: lp.Join) -> ColumnBatch:
         left = self._child_batch(node.left)
         right = self._child_batch(node.right)
+        return self._join_batches(node, left, right)
+
+    def _join_batches(
+        self, node: lp.Join, left: ColumnBatch, right: ColumnBatch
+    ) -> ColumnBatch:
+        """Join two already-fetched child batches.
+
+        Split out of :meth:`_join_batch` so the partitioned executor can
+        intercept the join *after* the children are scanned (scan
+        metrics and obs counters must be emitted exactly once) and
+        route eligible equi-joins partition-against-partition.
+        """
         if node.condition is None:
             rows = list(
                 self._nested_loop(
@@ -836,16 +875,21 @@ class ColumnarExecutor(Executor):
             left, right, lkeys, rkeys, residual, node.how, node.algorithm
         )
 
-    def _equi_join_batch(
+    def _join_key_codes(
         self,
         left: ColumnBatch,
         right: ColumnBatch,
         lkeys: List[Expression],
         rkeys: List[Expression],
-        residual: List[Expression],
-        how: str,
-        algorithm: Optional[str] = None,
-    ) -> ColumnBatch:
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Jointly factorized equi-key codes for both sides.
+
+        Codes are computed over the *concatenation* of both sides, so
+        equal keys get equal codes across sides — and, because the same
+        factorization collapses the same equality classes the canonical
+        CRC-32 partitioner collapses, equal codes always co-locate in
+        one partition of a key-partitioned table.
+        """
         n_left, n_right = left.length, right.length
         lcodes = np.zeros(n_left, dtype=np.int64)
         rcodes = np.zeros(n_right, dtype=np.int64)
@@ -859,8 +903,38 @@ class ColumnarExecutor(Executor):
                 n_sub,
             )
             lcodes, rcodes = both[:n_left], both[n_left:]
+        return lcodes, rcodes
+
+    def _equi_join_batch(
+        self,
+        left: ColumnBatch,
+        right: ColumnBatch,
+        lkeys: List[Expression],
+        rkeys: List[Expression],
+        residual: List[Expression],
+        how: str,
+        algorithm: Optional[str] = None,
+    ) -> ColumnBatch:
+        lcodes, rcodes = self._join_key_codes(left, right, lkeys, rkeys)
         exec_cls = JOIN_EXECS[algorithm or "hash"]
         pair_left, pair_right = exec_cls().candidate_pairs(lcodes, rcodes)
+        return self._finish_equi_join(
+            left, right, pair_left, pair_right, residual, how
+        )
+
+    def _finish_equi_join(
+        self,
+        left: ColumnBatch,
+        right: ColumnBatch,
+        pair_left: np.ndarray,
+        pair_right: np.ndarray,
+        residual: List[Expression],
+        how: str,
+    ) -> ColumnBatch:
+        """Residual filtering, metrics, and left-outer padding over
+        already-computed candidate pairs (shared by every algorithm,
+        including the partitioned executor's co-partitioned fan-out)."""
+        n_left = left.length
         total = len(pair_left)
         self.metrics.join_pairs_examined += total
         merged = self._merge_batches(

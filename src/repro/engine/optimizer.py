@@ -299,21 +299,80 @@ def _key_ndv_ratio(
     return best
 
 
-def choose_join_algorithms(
-    node: lp.PlanNode, stats_lookup: StatsLookup
-) -> lp.PlanNode:
-    """Annotate equi-joins with a physical algorithm (hash vs sort-merge).
+#: Returns the registered partitioning of a catalog table, or ``None``.
+PartitionLookup = Callable[[str], Optional[object]]
 
-    Purely a performance hint — both executors emit byte-identical
+
+def _names_column(expr: Expression, key: str) -> bool:
+    """Whether ``expr`` is a bare (possibly alias-qualified) ``key`` ref."""
+    from repro.engine.expressions import Column
+
+    if not isinstance(expr, Column):
+        return False
+    return expr.name == key or expr.name.endswith("." + key)
+
+
+def _co_partitioned(
+    node: "lp.Join",
+    partition_lookup: PartitionLookup,
+    schema_lookup: Callable[[str], Sequence[str]],
+) -> bool:
+    """Whether ``node`` is an equi-join of two co-partitioned bare scans.
+
+    The admission test mirrors exactly what the partitioned executor can
+    exploit: both inputs are bare ``Scan`` nodes (a filter in between
+    would change the row sets the positions index), both tables carry
+    compatible registered partitionings, and some equi-key pair is the
+    partition key of each respective side — then every joinable row pair
+    co-locates and shard-i-against-shard-i probing is exhaustive.
+    """
+    from repro.engine.operators import _equi_keys
+
+    if not isinstance(node.left, lp.Scan) or not isinstance(
+        node.right, lp.Scan
+    ):
+        return False
+    parted_l = partition_lookup(node.left.table)
+    parted_r = partition_lookup(node.right.table)
+    if parted_l is None or parted_r is None:
+        return False
+    if not parted_l.compatible_with(parted_r):
+        return False
+    lkeys, rkeys, _ = _equi_keys(
+        node.condition,
+        dict.fromkeys(_available_columns(node.left, schema_lookup)),
+        dict.fromkeys(_available_columns(node.right, schema_lookup)),
+    )
+    return any(
+        _names_column(lk, parted_l.key) and _names_column(rk, parted_r.key)
+        for lk, rk in zip(lkeys, rkeys)
+    )
+
+
+def choose_join_algorithms(
+    node: lp.PlanNode,
+    stats_lookup: StatsLookup,
+    partition_lookup: Optional[PartitionLookup] = None,
+    schema_lookup: Optional[Callable[[str], Sequence[str]]] = None,
+) -> lp.PlanNode:
+    """Annotate equi-joins with a physical algorithm.
+
+    Purely a performance hint — every executor emits byte-identical
     candidate pairs in the same order (see
-    :class:`repro.engine.operators.SortMergeJoinExec`).  Sort-merge is
-    chosen when both sides are estimated large and an equi-key column
-    looks near-unique; everything else keeps the hash default.  Runs
-    *after* all structural rewrites because ``push_down_filters`` rebuilds
-    joins without the annotation.
+    :class:`repro.engine.operators.SortMergeJoinExec` and
+    :class:`repro.engine.operators.CoPartitionedHashJoinExec`).
+    Co-partitioned wins first: two bare scans of tables partitioned
+    compatibly on an equi-key need no shuffle at all.  Otherwise
+    sort-merge is chosen when both sides are estimated large and an
+    equi-key column looks near-unique; everything else keeps the hash
+    default.  Runs *after* all structural rewrites because
+    ``push_down_filters`` rebuilds joins without the annotation.
     """
     children = [
-        choose_join_algorithms(c, stats_lookup) for c in node.children()
+        choose_join_algorithms(
+            c, stats_lookup, partition_lookup, schema_lookup
+        )
+        for c in node.children()
     ]
     if children:
         node = node.with_children(children)
@@ -321,6 +380,12 @@ def choose_join_algorithms(
         return node
     if node.algorithm is not None:
         return node
+    if (
+        partition_lookup is not None
+        and schema_lookup is not None
+        and _co_partitioned(node, partition_lookup, schema_lookup)
+    ):
+        return replace(node, algorithm="co_partitioned")
     left_rows = _estimate_rows(node.left, stats_lookup)
     right_rows = _estimate_rows(node.right, stats_lookup)
     if min(left_rows, right_rows) < SORT_MERGE_MIN_ROWS:
@@ -339,12 +404,15 @@ def optimize(
     node: lp.PlanNode,
     schema_lookup: Callable[[str], Sequence[str]],
     stats_lookup: StatsLookup,
+    partition_lookup: Optional[PartitionLookup] = None,
 ) -> lp.PlanNode:
     """Apply all rewrites: pushdown, reorder, pushdown, then physical hints."""
     node = push_down_filters(node, schema_lookup)
     node = reorder_joins(node, stats_lookup)
     node = push_down_filters(node, schema_lookup)
-    node = choose_join_algorithms(node, stats_lookup)
+    node = choose_join_algorithms(
+        node, stats_lookup, partition_lookup, schema_lookup
+    )
     return node
 
 

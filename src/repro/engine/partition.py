@@ -56,10 +56,13 @@ from repro.engine.morsel import (
     MorselExecutor,
     _slice_batch,
 )
+from repro.engine.expressions import Column, Expression
 from repro.engine.operators import (
     ExecutionMetrics,
+    HashJoinExec,
     TableProvider,
     _concat_batches,
+    _equi_keys,
 )
 from repro.engine.table import Table
 from repro.errors import CatalogError
@@ -190,6 +193,27 @@ class PartitionedTable:
         """Row count per partition (diagnostics / shuffle accounting)."""
         return [int(p.size) for p in self.positions()]
 
+    def compatible_with(self, other: "PartitionedTable") -> bool:
+        """Whether equal keys land on equal partition indices in both.
+
+        True iff the schemes and partition counts match — and, for
+        ``range`` partitioning, the boundary lists too (hash assignment
+        is a pure function of (key, n); range assignment also depends on
+        the data-derived cut points).  This is the co-partitioned join's
+        admission test: when it holds, every joinable row pair already
+        co-locates and shard-i-against-shard-i probing is exhaustive.
+        """
+        if self.scheme != other.scheme:
+            return False
+        if self.num_partitions != other.num_partitions:
+            return False
+        if self.scheme == "range":
+            self.refresh()
+            other.refresh()
+            if self._boundaries != other._boundaries:
+                return False
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<PartitionedTable {self.table.name!r} key={self.key!r} "
@@ -217,6 +241,9 @@ class PartitionRun:
     morsels: int = 0
     rows_in: int = 0
     rows_merged: int = 0
+    #: Bytes a repartitioning hash join would have had to move between
+    #: partitions (both sides' column payloads); zero for scan fan-outs.
+    shuffle_bytes_avoided: int = 0
 
 
 class _TrackedPipeline:
@@ -258,6 +285,18 @@ def _apply_tracked(payload):
     """Worker task: one tracked pipeline over one partition morsel."""
     pipeline, morsel, positions = payload
     return pipeline(morsel, positions)
+
+
+def _co_partition_pairs(payload):
+    """Worker task: hash-probe one partition's key-code slices.
+
+    ``payload`` is ``(lcodes_slice, rcodes_slice)`` — both sides' jointly
+    factorized codes restricted to one partition.  Pure and picklable;
+    the driver maps the local pair indices back through the partition's
+    original-position arrays.
+    """
+    lcodes, rcodes = payload
+    return HashJoinExec().candidate_pairs(lcodes, rcodes)
 
 
 class PartitionedMorselExecutor(MorselExecutor):
@@ -445,3 +484,108 @@ class PartitionedMorselExecutor(MorselExecutor):
             None if name is None else merged_cols[name] for name in arg_names
         ]
         return self._finish_aggregate(node, key_vecs, arg_vecs, n)
+
+    # -- co-partitioned equi-join ------------------------------------------
+    @staticmethod
+    def _names_key(expr: Expression, key: str) -> bool:
+        return isinstance(expr, Column) and (
+            expr.name == key or expr.name.endswith("." + key)
+        )
+
+    @staticmethod
+    def _batch_nbytes(batch: ColumnBatch) -> int:
+        total = 0
+        for vec in batch.columns.values():
+            total += int(vec.values.nbytes) + int(vec.valid.nbytes)
+        return total
+
+    def _join_batches(
+        self, node: lp.Join, left: ColumnBatch, right: ColumnBatch
+    ) -> ColumnBatch:
+        """Route optimizer-selected co-partitioned joins shard-by-shard.
+
+        Every guard here re-checks at execution time what the optimizer
+        saw at plan time (partitionings can be dropped or mutated in
+        between); any mismatch falls back to the inherited path, where
+        ``co_partitioned`` degrades to a plain hash join — partitioning
+        can never change results.
+        """
+        if (
+            node.algorithm != "co_partitioned"
+            or node.condition is None
+            or left.length == 0
+            or right.length == 0
+        ):
+            return super()._join_batches(node, left, right)
+        parted_l = self._scan_partitioning(node.left)
+        parted_r = self._scan_partitioning(node.right)
+        if (
+            parted_l is None
+            or parted_r is None
+            or not parted_l.compatible_with(parted_r)
+        ):
+            return super()._join_batches(node, left, right)
+        lkeys, rkeys, residual = _equi_keys(
+            node.condition,
+            dict.fromkeys(left.names),
+            dict.fromkeys(right.names),
+        )
+        if not any(
+            self._names_key(lk, parted_l.key)
+            and self._names_key(rk, parted_r.key)
+            for lk, rk in zip(lkeys, rkeys)
+        ):
+            return super()._join_batches(node, left, right)
+        # Joint factorization gives equal keys equal codes across sides,
+        # and collapses exactly the equality classes the canonical CRC-32
+        # partitioner collapses — so equal codes always share a
+        # partition, and probing shard-i-against-shard-i is exhaustive.
+        lcodes, rcodes = self._join_key_codes(left, right, lkeys, rkeys)
+        lpos = parted_l.positions()
+        rpos = parted_r.positions()
+        tasks = [
+            (lcodes[lpos[p]], rcodes[rpos[p]])
+            for p in range(parted_l.num_partitions)
+        ]
+        run = PartitionRun(
+            table=f"{parted_l.table.name} join {parted_r.table.name}",
+            key=parted_l.key,
+            scheme=parted_l.scheme,
+            partitions=parted_l.num_partitions,
+            partition_rows=[
+                int(lp_.size + rp_.size) for lp_, rp_ in zip(lpos, rpos)
+            ],
+            morsels=len(tasks),
+            rows_in=left.length + right.length,
+            shuffle_bytes_avoided=(
+                self._batch_nbytes(left) + self._batch_nbytes(right)
+            ),
+        )
+        if len(tasks) == 1:
+            local = [_co_partition_pairs(tasks[0])]
+        else:
+            local = self.substrate.submit(
+                _co_partition_pairs,
+                tasks,
+                scope=PARTITION_SCOPE,
+                quiet=True,
+            )
+        pair_left = np.concatenate(
+            [lpos[p][pl] for p, (pl, _) in enumerate(local)]
+        )
+        pair_right = np.concatenate(
+            [rpos[p][pr] for p, (_, pr) in enumerate(local)]
+        )
+        # Hash emits pairs sorted by (left, right) original positions;
+        # restoring that global order makes residual evaluation, metrics,
+        # and row order byte-identical to the unpartitioned hash join.
+        emit = np.lexsort((pair_right, pair_left))
+        merged = self._finish_equi_join(
+            left, right,
+            pair_left[emit].astype(np.int64),
+            pair_right[emit].astype(np.int64),
+            residual, node.how,
+        )
+        run.rows_merged = merged.length
+        self.partition_runs.append(run)
+        return merged

@@ -98,9 +98,9 @@ class Join(PlanNode):
 
     ``condition`` may be ``None`` for a cross join.  ``how`` is ``"inner"``
     or ``"left"``.  ``algorithm`` is a physical-operator hint set by the
-    optimizer — ``None`` (executor default), ``"hash"``, or
-    ``"sort_merge"`` — and never changes results, only the pair-generation
-    strategy.
+    optimizer — ``None`` (executor default), ``"hash"``, ``"sort_merge"``,
+    or ``"co_partitioned"`` — and never changes results, only the
+    pair-generation strategy.
     """
 
     left: PlanNode
@@ -112,7 +112,9 @@ class Join(PlanNode):
     def __post_init__(self):
         if self.how not in ("inner", "left"):
             raise QueryError(f"unsupported join type {self.how!r}")
-        if self.algorithm not in (None, "hash", "sort_merge"):
+        if self.algorithm not in (
+            None, "hash", "sort_merge", "co_partitioned"
+        ):
             raise QueryError(
                 f"unsupported join algorithm {self.algorithm!r}"
             )

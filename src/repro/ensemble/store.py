@@ -24,6 +24,25 @@ On-disk layout (documented in README "Ensemble orchestration")::
       checkpoints/                        # ChainCheckpoint files for
                                           # crash-resumable chain prefixes
 
+:class:`ShardedRunStore` generalizes the prefix directories into
+first-class shards (the paper's §2.1 parallel-RDBMS storage argument)::
+
+    <root>/
+      shards/<i>/objects/<key[:2]>/<key>/...   # i = crc32(key) % shards
+      objects/...                              # flat layout, still read
+      checkpoints/  tmp/                       # shared across shards
+
+A key's shard is :func:`repro.exec.keys.partition_index` — the same
+canonical CRC-32 the engine's hash partitioning and the mapreduce
+shuffle use — so a content address keeps its shard across subsystem
+boundaries.  Reads fall back to the flat ``objects/`` tree, which makes
+opening an old flat store as a sharded one a transparent migration
+(``migrate_layout`` renames entries into their shards for real).  Stat
+passes run per shard and merge into one *global* oldest-first order, so
+``ls(limit=)`` and size-ordered ``gc`` are byte-identical to the flat
+store; ``gc`` deletions fan out one-shard-per-task through the
+:mod:`repro.exec` substrate under fault scope ``store.shard``.
+
 Writes are atomic: each entry is staged in a scratch directory and
 ``os.rename``d into place, so readers never observe a half-written
 entry and a crash mid-``put`` leaves only scratch debris (removed by
@@ -53,6 +72,15 @@ from repro.obs import get_observer
 #: in every run key, so old entries become unreachable (and collectable
 #: by ``gc``) rather than mis-decoded.
 STORE_SCHEMA_VERSION = 1
+
+#: Fault-plan scope for the sharded store's per-shard gc fan-out; the
+#: task index is the shard's position in the deterministic ascending
+#: shard order of the eviction batch.
+STORE_SHARD_SCOPE = "store.shard"
+
+#: Environment variable selecting the shard count for stores opened via
+#: :func:`open_store` (the CLI's ``--shards`` flag overrides it).
+SHARDS_ENV_VAR = "REPRO_STORE_SHARDS"
 
 _ARRAY_MARKER = "__npz__"
 
@@ -222,6 +250,7 @@ class RunStore:
         self.root = os.fspath(root)
         self.stats = StoreStats()
         self._lock = threading.RLock()
+        self._stats_lock = threading.Lock()
         os.makedirs(self._objects_dir(), exist_ok=True)
         os.makedirs(self.checkpoint_dir(), exist_ok=True)
         os.makedirs(self._scratch_dir(), exist_ok=True)
@@ -237,9 +266,31 @@ class RunStore:
         """Directory for chain-prefix checkpoints (crash resumability)."""
         return os.path.join(self.root, "checkpoints")
 
+    def _checkpoint_path(self, key: str) -> str:
+        return os.path.join(self.checkpoint_dir(), f"{key}.ckpt")
+
     def _entry_dir(self, key: str) -> str:
+        """The canonical directory new entries for ``key`` commit into."""
         self._validate_key(key)
         return os.path.join(self._objects_dir(), key[:2], key)
+
+    def _candidate_dirs(self, key: str) -> Tuple[str, ...]:
+        """Every directory ``key`` may live in (canonical first).
+
+        The flat store has exactly one; the sharded store adds the flat
+        layout as a read-through fallback for unmigrated entries.
+        """
+        return (self._entry_dir(key),)
+
+    def _lock_for_key(self, key: str) -> threading.RLock:
+        """The lock serializing reads/commits/evictions of ``key``."""
+        return self._lock
+
+    def _note(self, stat: str, amount: int = 1) -> None:
+        """Record one stats field + its obs counter (thread-safe)."""
+        with self._stats_lock:
+            setattr(self.stats, stat, getattr(self.stats, stat) + amount)
+        get_observer().counter(f"ensemble.store.{stat}").add(amount)
 
     @staticmethod
     def _validate_key(key: str) -> None:
@@ -249,32 +300,39 @@ class RunStore:
     # -- read path -----------------------------------------------------------
     def contains(self, key: str) -> bool:
         """Whether ``key`` has a committed entry (no stats recorded)."""
-        return os.path.exists(os.path.join(self._entry_dir(key), "run.json"))
+        return any(
+            os.path.exists(os.path.join(candidate, "run.json"))
+            for candidate in self._candidate_dirs(key)
+        )
 
     def get(self, key: str) -> Optional[Any]:
         """The stored result for ``key``, or ``None`` on a miss."""
-        entry_dir = self._entry_dir(key)
-        run_path = os.path.join(entry_dir, "run.json")
-        with self._lock:
-            try:
-                with open(run_path, "r", encoding="utf-8") as handle:
-                    document = json.load(handle)
-            except FileNotFoundError:
-                self.stats.misses += 1
-                get_observer().counter("ensemble.store.misses").inc()
+        candidates = self._candidate_dirs(key)
+        with self._lock_for_key(key):
+            document = None
+            entry_dir = None
+            for candidate in candidates:
+                run_path = os.path.join(candidate, "run.json")
+                try:
+                    with open(run_path, "r", encoding="utf-8") as handle:
+                        document = json.load(handle)
+                except FileNotFoundError:
+                    continue
+                entry_dir = candidate
+                break
+            if document is None:
+                self._note("misses")
                 return None
             if document.get("schema") != STORE_SCHEMA_VERSION:
                 # Unreachable via run_key addressing; guards hand-made keys.
-                self.stats.misses += 1
-                get_observer().counter("ensemble.store.misses").inc()
+                self._note("misses")
                 return None
             arrays: Dict[str, np.ndarray] = {}
             npz_path = os.path.join(entry_dir, "arrays.npz")
             if os.path.exists(npz_path):
                 with np.load(npz_path) as payload:
                     arrays = {name: payload[name] for name in payload.files}
-            self.stats.hits += 1
-            get_observer().counter("ensemble.store.hits").inc()
+            self._note("hits")
         return decode_result(document["result"], arrays)
 
     # -- write path ----------------------------------------------------------
@@ -318,7 +376,7 @@ class RunStore:
                 os.path.join(stage, "run.json"), "w", encoding="utf-8"
             ) as handle:
                 json.dump(document, handle, sort_keys=True, indent=1)
-            with self._lock:
+            with self._lock_for_key(key):
                 os.makedirs(os.path.dirname(entry_dir), exist_ok=True)
                 try:
                     os.rename(stage, entry_dir)
@@ -329,14 +387,39 @@ class RunStore:
                     if not self.contains(key):
                         raise
                     shutil.rmtree(stage, ignore_errors=True)
-                self.stats.puts += 1
-                get_observer().counter("ensemble.store.puts").inc()
+                self._note("puts")
         except Exception:
             shutil.rmtree(stage, ignore_errors=True)
             raise
         return decode_result(tree, arrays)
 
     # -- maintenance ---------------------------------------------------------
+    @staticmethod
+    def _stat_tree(objects_dir: str) -> List[StoreEntry]:
+        """Unordered stat-only entries of one ``objects/`` tree."""
+        entries: List[StoreEntry] = []
+        if not os.path.isdir(objects_dir):
+            return entries
+        for prefix in sorted(os.listdir(objects_dir)):
+            prefix_dir = os.path.join(objects_dir, prefix)
+            if not os.path.isdir(prefix_dir):
+                continue
+            for key in sorted(os.listdir(prefix_dir)):
+                entry_dir = os.path.join(prefix_dir, key)
+                run_path = os.path.join(entry_dir, "run.json")
+                if not os.path.isfile(run_path):
+                    continue
+                try:
+                    size = 0
+                    for filename in os.listdir(entry_dir):
+                        info = os.stat(os.path.join(entry_dir, filename))
+                        size += info.st_size
+                    mtime = os.stat(run_path).st_mtime
+                except OSError:
+                    continue  # evicted between listing and stat
+                entries.append(StoreEntry(key, "", 0, size, mtime))
+        return entries
+
     def _stat_entries(self) -> List[StoreEntry]:
         """Every committed entry via ``stat`` only — no ``run.json`` reads.
 
@@ -344,40 +427,24 @@ class RunStore:
         metadata fields (scenario/seed/params) left empty; :meth:`ls`
         fills them in for the entries it actually returns.
         """
-        entries: List[StoreEntry] = []
-        objects = self._objects_dir()
-        if not os.path.isdir(objects):
-            return entries
-        for shard in sorted(os.listdir(objects)):
-            shard_dir = os.path.join(objects, shard)
-            if not os.path.isdir(shard_dir):
-                continue
-            for key in sorted(os.listdir(shard_dir)):
-                entry_dir = os.path.join(shard_dir, key)
-                run_path = os.path.join(entry_dir, "run.json")
-                if not os.path.isfile(run_path):
-                    continue
-                size = 0
-                for filename in os.listdir(entry_dir):
-                    info = os.stat(os.path.join(entry_dir, filename))
-                    size += info.st_size
-                mtime = os.stat(run_path).st_mtime
-                entries.append(StoreEntry(key, "", 0, size, mtime))
+        entries = self._stat_tree(self._objects_dir())
         entries.sort(key=lambda entry: (entry.mtime, entry.key))
         return entries
 
     def _read_meta(self, entry: StoreEntry) -> StoreEntry:
         """``entry`` with scenario/seed/params filled from ``run.json``."""
-        run_path = os.path.join(self._entry_dir(entry.key), "run.json")
         scenario, seed, params_json = "", 0, ""
-        try:
-            with open(run_path, "r", encoding="utf-8") as handle:
-                document = json.load(handle)
-            scenario = document.get("scenario", "")
-            seed = int(document.get("seed", 0))
-            params_json = document.get("params", "")
-        except (OSError, ValueError):
-            pass
+        for candidate in self._candidate_dirs(entry.key):
+            run_path = os.path.join(candidate, "run.json")
+            try:
+                with open(run_path, "r", encoding="utf-8") as handle:
+                    document = json.load(handle)
+                scenario = document.get("scenario", "")
+                seed = int(document.get("seed", 0))
+                params_json = document.get("params", "")
+                break
+            except (OSError, ValueError):
+                continue
         return StoreEntry(
             entry.key, scenario, seed, entry.size_bytes, entry.mtime,
             params_json,
@@ -421,17 +488,29 @@ class RunStore:
 
     def evict(self, key: str) -> bool:
         """Remove one entry (and its chain checkpoint, if any)."""
-        entry_dir = self._entry_dir(key)
-        with self._lock:
-            if not os.path.isdir(entry_dir):
+        removed = False
+        with self._lock_for_key(key):
+            for entry_dir in self._candidate_dirs(key):
+                if not os.path.isdir(entry_dir):
+                    continue
+                shutil.rmtree(entry_dir)
+                removed = True
+            if not removed:
                 return False
-            shutil.rmtree(entry_dir)
-            checkpoint = os.path.join(self.checkpoint_dir(), f"{key}.ckpt")
+            checkpoint = self._checkpoint_path(key)
             if os.path.exists(checkpoint):
                 os.unlink(checkpoint)
-            self.stats.evictions += 1
-            get_observer().counter("ensemble.store.evictions").inc()
+        self._note("evictions")
         return True
+
+    def _evict_many(self, keys: List[str]) -> List[str]:
+        """Evict a planned batch; returns the keys actually removed.
+
+        The sharded store overrides this to fan the deletions
+        one-shard-per-task through the execution substrate; the returned
+        order always matches the planned ``keys`` order.
+        """
+        return [key for key in keys if self.evict(key)]
 
     def gc(
         self,
@@ -444,34 +523,47 @@ class RunStore:
 
         Age eviction removes every entry older than ``max_age_seconds``;
         size eviction then removes *oldest-first* until the store fits
-        in ``max_total_bytes``.  Scratch debris from crashed ``put``
-        calls is swept once it is older than ``scratch_age_seconds`` —
-        the age gate is what makes ``gc`` safe to run concurrently with
-        ``put``, whose staging directory lives in the same scratch space
-        until the atomic rename (an unconditional sweep used to delete
-        an in-flight put's staging files out from under it).  With
-        neither bound set, only stale debris is collected.
+        in ``max_total_bytes``.  The size pass re-derives the total from
+        a fresh stat of the *surviving* entries after every eviction
+        batch — a total snapshotted before the age pass goes stale the
+        moment a concurrent ``put`` lands, and trusting it could return
+        with the store still above the bound.  Scratch debris from
+        crashed ``put`` calls is swept once it is older than
+        ``scratch_age_seconds`` — the age gate is what makes ``gc`` safe
+        to run concurrently with ``put``, whose staging directory lives
+        in the same scratch space until the atomic rename (an
+        unconditional sweep used to delete an in-flight put's staging
+        files out from under it).  With neither bound set, only stale
+        debris is collected.
         """
         wall = time.time()
         now = wall if now is None else now
         evicted: List[str] = []
         # Age/size eviction needs only keys, sizes, and mtimes — skip
         # the per-entry run.json reads.
-        entries = self.ls(with_meta=False)
         if max_age_seconds is not None:
-            for entry in entries:
-                if now - entry.mtime > max_age_seconds:
-                    if self.evict(entry.key):
-                        evicted.append(entry.key)
-            entries = [e for e in entries if e.key not in set(evicted)]
+            stale = [
+                entry.key
+                for entry in self.ls(with_meta=False)
+                if now - entry.mtime > max_age_seconds
+            ]
+            evicted.extend(self._evict_many(stale))
         if max_total_bytes is not None:
-            total = sum(entry.size_bytes for entry in entries)
-            for entry in entries:
+            while True:
+                survivors = self.ls(with_meta=False)
+                total = sum(entry.size_bytes for entry in survivors)
                 if total <= max_total_bytes:
                     break
-                if self.evict(entry.key):
-                    evicted.append(entry.key)
+                planned: List[str] = []
+                for entry in survivors:
+                    if total <= max_total_bytes:
+                        break
+                    planned.append(entry.key)
                     total -= entry.size_bytes
+                removed = self._evict_many(planned)
+                evicted.extend(removed)
+                if not removed:
+                    break  # nothing evictable remains; avoid spinning
         scratch = self._scratch_dir()
         if os.path.isdir(scratch):
             for debris in os.listdir(scratch):
@@ -491,14 +583,256 @@ class RunStore:
         return f"<RunStore {self.root!r} {self.stats.as_dict()}>"
 
 
+# -- the sharded store -------------------------------------------------------
+
+def _evict_shard_batch(task: List[Tuple[str, List[str], str]]) -> List[str]:
+    """Substrate worker: delete one shard's planned entry directories.
+
+    ``task`` is ``[(key, entry_dirs, checkpoint_path), ...]`` for one
+    shard.  Idempotent by construction — fault injection fires *before*
+    the body runs, and a retried attempt simply re-deletes — and the
+    return value reports the keys whose directories are absent after the
+    call, so a retry that finds an already-deleted entry still counts it.
+    """
+    removed: List[str] = []
+    for key, entry_dirs, checkpoint in task:
+        existed = False
+        for entry_dir in entry_dirs:
+            if os.path.isdir(entry_dir):
+                existed = True
+                shutil.rmtree(entry_dir, ignore_errors=True)
+        try:
+            os.unlink(checkpoint)
+        except OSError:
+            pass
+        gone = all(not os.path.isdir(d) for d in entry_dirs)
+        if existed and gone:
+            removed.append(key)
+    return removed
+
+
+class ShardedRunStore(RunStore):
+    """A :class:`RunStore` whose entries spread over ``shards`` roots.
+
+    Key→shard assignment is :func:`repro.exec.keys.partition_index` over
+    the content address — the engine's canonical CRC-32 — so the layout
+    is a pure function of the key.  Each shard has its own lock (same-
+    shard operations serialize, cross-shard operations proceed in
+    parallel) and its own ``objects/`` tree; ``tmp/`` and
+    ``checkpoints/`` stay shared at the root.  Stat passes merge the
+    per-shard trees (plus any unmigrated flat-layout entries) into one
+    global oldest-first order, which keeps ``ls(limit=)`` ordering and
+    size-ordered ``gc`` eviction byte-identical to the flat store on the
+    same corpus.  ``gc`` deletions fan out one-shard-per-task through
+    the :class:`~repro.exec.substrate.Substrate` under fault scope
+    ``store.shard`` while the driver holds the affected shard locks, so
+    in-process readers never lose files mid-read.
+    """
+
+    def __init__(
+        self,
+        root: os.PathLike,
+        shards: int = 4,
+        backend: Optional[Any] = None,
+    ) -> None:
+        if int(shards) < 1:
+            raise SimulationError(
+                f"shard count must be >= 1, got {shards}"
+            )
+        self.shards = int(shards)
+        self._backend = backend
+        self._shard_locks = [
+            threading.RLock() for _ in range(self.shards)
+        ]
+        super().__init__(root)
+        for shard in range(self.shards):
+            os.makedirs(self._shard_objects_dir(shard), exist_ok=True)
+
+    # -- layout --------------------------------------------------------------
+    def _shard_objects_dir(self, shard: int) -> str:
+        return os.path.join(self.root, "shards", str(shard), "objects")
+
+    def shard_of(self, key: str) -> int:
+        """The shard holding ``key`` (pure CRC-32 of the address)."""
+        self._validate_key(key)
+        from repro.exec.keys import partition_index
+
+        return partition_index(key, self.shards)
+
+    def _entry_dir(self, key: str) -> str:
+        return os.path.join(
+            self._shard_objects_dir(self.shard_of(key)), key[:2], key
+        )
+
+    def _candidate_dirs(self, key: str) -> Tuple[str, ...]:
+        # Canonical shard location first, then the flat layout — an old
+        # flat store opened as a sharded one reads through transparently.
+        return (
+            self._entry_dir(key),
+            os.path.join(self._objects_dir(), key[:2], key),
+        )
+
+    def _lock_for_key(self, key: str) -> threading.RLock:
+        return self._shard_locks[self.shard_of(key)]
+
+    # -- maintenance ---------------------------------------------------------
+    def _stat_entries(self) -> List[StoreEntry]:
+        entries: List[StoreEntry] = []
+        seen = set()
+        for shard in range(self.shards):
+            for entry in self._stat_tree(self._shard_objects_dir(shard)):
+                entries.append(entry)
+                seen.add(entry.key)
+        for entry in self._stat_tree(self._objects_dir()):
+            if entry.key not in seen:  # unmigrated flat-layout entry
+                entries.append(entry)
+        entries.sort(key=lambda entry: (entry.mtime, entry.key))
+        return entries
+
+    def per_shard_summary(self) -> List[Tuple[int, int]]:
+        """``(entry count, total bytes)`` per shard (flat entries count
+        toward the shard their key maps to)."""
+        totals = [[0, 0] for _ in range(self.shards)]
+        for entry in self._stat_entries():
+            shard = self.shard_of(entry.key)
+            totals[shard][0] += 1
+            totals[shard][1] += entry.size_bytes
+        return [(count, size) for count, size in totals]
+
+    def migrate_layout(self) -> int:
+        """Move flat-layout entries into their shards; returns the count.
+
+        Entries move with one ``os.rename`` each (same filesystem, no
+        copying); a key already committed under its shard wins and the
+        flat duplicate is dropped.  Safe to re-run; a no-op on a fully
+        migrated store.
+        """
+        moved = 0
+        for entry in self._stat_tree(self._objects_dir()):
+            source = os.path.join(
+                self._objects_dir(), entry.key[:2], entry.key
+            )
+            target = self._entry_dir(entry.key)
+            with self._lock_for_key(entry.key):
+                if not os.path.isdir(source):
+                    continue  # evicted (or migrated) concurrently
+                if os.path.isdir(target):
+                    shutil.rmtree(source, ignore_errors=True)
+                    continue
+                os.makedirs(os.path.dirname(target), exist_ok=True)
+                os.rename(source, target)
+                moved += 1
+        return moved
+
+    def _evict_many(self, keys: List[str]) -> List[str]:
+        """Fan a planned eviction batch one-shard-per-task.
+
+        The driver groups keys by shard (ascending shard order, plan
+        order within a shard), holds the affected shard locks across the
+        fan-out — workers never take locks, so this cannot deadlock, and
+        in-process readers of those shards block instead of losing
+        ``arrays.npz`` mid-read — then merges the per-shard results back
+        into the planned global order, so the evicted-key list is
+        order-identical to the flat store's sequential pass.
+        """
+        if not keys:
+            return []
+        from repro.exec.substrate import Substrate
+
+        groups: Dict[int, List[str]] = {}
+        for key in keys:
+            groups.setdefault(self.shard_of(key), []).append(key)
+        tasks = [
+            [
+                (key, list(self._candidate_dirs(key)),
+                 self._checkpoint_path(key))
+                for key in group
+            ]
+            for _, group in sorted(groups.items())
+        ]
+        locks = [self._shard_locks[shard] for shard in sorted(groups)]
+        for lock in locks:
+            lock.acquire()
+        try:
+            outputs = Substrate(self._backend).submit(
+                _evict_shard_batch,
+                tasks,
+                scope=STORE_SHARD_SCOPE,
+                quiet=True,
+            )
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+        removed = set()
+        for output in outputs:
+            removed.update(output)
+        confirmed = [key for key in keys if key in removed]
+        if confirmed:
+            self._note("evictions", len(confirmed))
+        return confirmed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardedRunStore {self.root!r} shards={self.shards} "
+            f"{self.stats.as_dict()}>"
+        )
+
+
+def detect_shards(root: os.PathLike) -> Optional[int]:
+    """The shard count of an existing sharded layout, or ``None``."""
+    shards_dir = os.path.join(os.fspath(root), "shards")
+    if not os.path.isdir(shards_dir):
+        return None
+    indices = [
+        int(name) for name in os.listdir(shards_dir) if name.isdigit()
+    ]
+    if not indices:
+        return None
+    return max(indices) + 1
+
+
+def open_store(
+    root: os.PathLike,
+    shards: Optional[int] = None,
+    backend: Optional[Any] = None,
+) -> RunStore:
+    """Open ``root`` as a flat or sharded store.
+
+    Precedence for the shard count: the explicit ``shards`` argument
+    (the CLI's ``--shards``), then the ``REPRO_STORE_SHARDS``
+    environment variable, then auto-detection of an existing
+    ``shards/`` layout; with none of those, the flat :class:`RunStore`.
+    ``shards=0`` forces the flat layout explicitly.
+    """
+    if shards is None:
+        raw = os.environ.get(SHARDS_ENV_VAR, "").strip()
+        if raw:
+            try:
+                shards = int(raw)
+            except ValueError:
+                raise SimulationError(
+                    f"{SHARDS_ENV_VAR} must be an integer, got {raw!r}"
+                ) from None
+    if shards is None:
+        shards = detect_shards(root)
+    if not shards:
+        return RunStore(root)
+    return ShardedRunStore(root, shards=shards, backend=backend)
+
+
 __all__ = [
+    "SHARDS_ENV_VAR",
     "STORE_SCHEMA_VERSION",
+    "STORE_SHARD_SCOPE",
     "RunStore",
+    "ShardedRunStore",
     "StoreEntry",
     "StoreStats",
     "decode_result",
+    "detect_shards",
     "encode_result",
     "normalize_result",
+    "open_store",
     "result_fingerprint",
     "run_key",
 ]

@@ -245,7 +245,12 @@ class Substrate:
         can target it); each call's own ``scope``/``index`` keys the
         per-task injection and retry inside the worker, exactly like the
         ensemble scheduler's historical node dispatch.
+
+        An empty call list short-circuits before touching the backend:
+        dispatching nothing must not spin up a worker pool.
         """
+        if not calls:
+            return []
         return self.submit(run_isolated, calls, scope=scope)
 
     # -- seed spawning ------------------------------------------------------

@@ -707,3 +707,106 @@ class TestDeltaCli:
         result = _run_cli("--help")
         assert result.returncode == 0
         assert "delta" in result.stdout
+
+
+# ---------------------------------------------------------------------------
+# concurrency bug sweep regressions (sharded data plane PR)
+# ---------------------------------------------------------------------------
+
+class TestEmptyConeShortCircuit:
+    """An all-reused plan must never construct an execution backend."""
+
+    def test_execute_plan_skips_backend_setup(self, tmp_path, monkeypatch):
+        store = RunStore(tmp_path)
+        base = chain(3)
+        run_ensemble(base, store=store)
+
+        import repro.delta.plan as delta_plan_module
+
+        def exploding_substrate(*args, **kwargs):  # pragma: no cover
+            raise AssertionError(
+                "empty cone constructed a Substrate (backend setup)"
+            )
+
+        monkeypatch.setattr(
+            delta_plan_module, "Substrate", exploding_substrate
+        )
+        plan = plan_delta(base, store, base=base)
+        assert plan.nodes_recomputed == 0
+        outcome = execute_plan(plan, store, backend="process")
+        outcome.raise_if_failed()
+        assert outcome.nodes_reused == 3 and outcome.nodes_run == 0
+
+    def test_empty_cone_counters_and_result_contract(self, tmp_path):
+        store = RunStore(tmp_path)
+        base = chain(3)
+        run_ensemble(base, store=store)
+        observer = obs.enable()
+        observer.reset()
+        try:
+            plan = plan_delta(base, store, base=base)
+            outcome = execute_plan(plan, store)
+            values = observer.metrics.snapshot()["values"]
+        finally:
+            obs.disable()
+        # The DeltaResult contract is identical to the pre-shortcut path…
+        assert outcome.nodes_reused == 3
+        assert outcome.nodes_run == outcome.nodes_failed == 0
+        assert outcome.results == {}
+        assert outcome.store_stats is not None
+        assert {r.status for r in outcome.reports.values()} == {"reused"}
+        counters = values["counters"]
+        assert counters.get("delta.plan") == 1
+        assert counters.get("delta.reused") == 3
+        # …and the fan-out layer was never touched: no parallel.* counter
+        # may appear for a dispatch of zero nodes.
+        assert not any(name.startswith("parallel.") for name in counters)
+
+    def test_dispatch_isolated_empty_returns_without_backend(self):
+        from repro.exec.substrate import Substrate
+
+        substrate = Substrate.__new__(Substrate)  # no backend attribute
+        assert substrate.dispatch_isolated([], scope="delta.dispatch") == []
+
+
+class TestDiffEvictionRace:
+    """diff_timelines reports a mid-diff eviction as ``unstored``."""
+
+    def _stored_branches(self, store):
+        base = chain(3, scenario="test.array")
+        target = perturb(base, params={"n1": {"x": 99}}, name="chain~b")
+        run_ensemble(base, store=store)
+        run_ensemble(target, store=store)
+        return base, target
+
+    def test_half_evicted_entry_reports_unstored(self, tmp_path):
+        store = RunStore(tmp_path)
+        base, target = self._stored_branches(store)
+        diff = diff_timelines(store, base, target)
+        changed = {n.name for n in diff.nodes if n.status == "changed"}
+        assert "n1" in changed
+        # Simulate a gc racing the diff: run.json survives the contains
+        # check but arrays.npz is already gone when the load happens.
+        from repro.ensemble import compute_run_keys
+
+        key = compute_run_keys(target)["n1"]
+        entry_dir = store._candidate_dirs(key)[0]
+        os.unlink(os.path.join(entry_dir, "arrays.npz"))
+        raced = diff_timelines(store, base, target)
+        statuses = {n.name: n.status for n in raced.nodes}
+        assert statuses["n1"] == "unstored"
+        # The rest of the diff still completes normally: n0 is untouched
+        # and n2 (re-keyed through the Merkle fold) still loads and diffs.
+        assert statuses["n0"] == "same"
+        assert statuses["n2"] == "changed"
+
+    def test_fully_evicted_entry_reports_unstored(self, tmp_path):
+        store = RunStore(tmp_path)
+        base, target = self._stored_branches(store)
+        from repro.ensemble import compute_run_keys
+
+        store.evict(compute_run_keys(target)["n1"])
+        raced = diff_timelines(store, base, target)
+        statuses = {n.name: n.status for n in raced.nodes}
+        assert statuses["n1"] == "unstored"
+        assert raced.count("unstored") >= 1
